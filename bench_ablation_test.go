@@ -1,0 +1,182 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/hostnet"
+	"repro/internal/exp"
+	"repro/internal/host"
+	"repro/internal/hostcc"
+	"repro/internal/sim"
+)
+
+// Ablation benchmarks: each removes or re-tunes one design mechanism called
+// out in DESIGN.md and reports how the headline phenomena move. Together
+// they document *which* mechanism produces *which* observation:
+//
+//   - the XOR bank hash        -> multi-core isolated C2M sanity
+//   - the bounded drain batch  -> the red regime's WPQ pinning
+//   - the read-dwell duty cap  -> the red regime's P2M squeeze
+//   - the FR-FCFS window       -> row-hit batching under conflicts
+//   - the DDIO hypotheses      -> the Fig 2 DDIO-on penalty
+//   - the hostCC controller    -> the §7 mitigation
+
+func ablationOptions(mutate func(*host.Config)) hostnet.Options {
+	opt := hostnet.DefaultOptions()
+	opt.Warmup = 10 * sim.Microsecond
+	opt.Window = 40 * sim.Microsecond
+	base := opt.Preset
+	opt.Preset = func() host.Config {
+		cfg := base()
+		mutate(&cfg)
+		return cfg
+	}
+	return opt
+}
+
+// BenchmarkAblationXORHashOff disables the DRAMA-style bank hash: 1 GiB-
+// aligned buffers then march through identical bank sequences and isolated
+// multi-core C2M collapses (compare c2m-iso-GB/s with the baseline bench).
+func BenchmarkAblationXORHashOff(b *testing.B) {
+	on := ablationOptions(func(c *host.Config) {})
+	off := ablationOptions(func(c *host.Config) { c.Mapper.XORRowIntoBank = false })
+	var pOn, pOff exp.QuadrantPoint
+	for i := 0; i < b.N; i++ {
+		pOn = exp.RunQuadrantPoint(exp.Q1, 3, on)
+		pOff = exp.RunQuadrantPoint(exp.Q1, 3, off)
+	}
+	b.ReportMetric(pOn.C2MIso.C2MBW/1e9, "iso-hash-on-GB/s")
+	b.ReportMetric(pOff.C2MIso.C2MBW/1e9, "iso-hash-off-GB/s")
+}
+
+// BenchmarkAblationDrainBatch sweeps the drain batch: small batches pay
+// turnaround per few writes (blue regime overshoots); unbounded duty lets
+// writes preempt reads and the red regime's P2M squeeze disappears.
+func BenchmarkAblationDrainBatch(b *testing.B) {
+	for _, batch := range []int{8, 20, 48} {
+		batch := batch
+		b.Run("batch="+itoa(batch), func(b *testing.B) {
+			opt := ablationOptions(func(c *host.Config) { c.MC.DrainBatch = batch })
+			var q1, q3 exp.QuadrantPoint
+			for i := 0; i < b.N; i++ {
+				q1 = exp.RunQuadrantPoint(exp.Q1, 1, opt)
+				q3 = exp.RunQuadrantPoint(exp.Q3, 5, opt)
+			}
+			b.ReportMetric(q1.C2MDegradation(), "q1-c2m-degr-x")
+			b.ReportMetric(q3.P2MDegradation(), "q3-p2m-degr-x")
+		})
+	}
+}
+
+// BenchmarkAblationNoReadDwell removes the read-mode dwell (write duty
+// uncapped): the WPQ drains on demand, the CHA backlog never forms, and the
+// red regime's P2M degradation collapses.
+func BenchmarkAblationNoReadDwell(b *testing.B) {
+	opt := ablationOptions(func(c *host.Config) { c.MC.ReadDwellMin = 0 })
+	var p exp.QuadrantPoint
+	for i := 0; i < b.N; i++ {
+		p = exp.RunQuadrantPoint(exp.Q3, 5, opt)
+	}
+	b.ReportMetric(p.P2MDegradation(), "q3-p2m-degr-x")
+	b.ReportMetric(p.Co.WPQFullFrac, "wpq-full-frac")
+}
+
+// BenchmarkAblationFCFSWindow1 shrinks the FR-FCFS scan to pure FCFS: row
+// hits can no longer bypass conflicting requests.
+func BenchmarkAblationFCFSWindow1(b *testing.B) {
+	opt := ablationOptions(func(c *host.Config) { c.MC.SchedWindow = 1 })
+	var p exp.QuadrantPoint
+	for i := 0; i < b.N; i++ {
+		p = exp.RunQuadrantPoint(exp.Q1, 6, opt)
+	}
+	b.ReportMetric(p.C2MIso.C2MBW/1e9, "iso-GB/s")
+	b.ReportMetric(p.C2MDegradation(), "c2m-degr-x")
+}
+
+// BenchmarkAblationDDIOHypotheses toggles the two DDIO-penalty hypotheses
+// independently (eviction swizzle; eviction directory reads) against the
+// GAPBS + P2M-Write colocation that exhibits the Fig 2 effect.
+func BenchmarkAblationDDIOHypotheses(b *testing.B) {
+	run := func(scramble bool, readFrac float64) float64 {
+		cfg := host.CascadeLake()
+		cfg.DDIO.Enabled = true
+		cfg.DDIO.ScrambleEvictions = scramble
+		cfg.CHA.DDIOEvictionReadFrac = readFrac
+		opt := hostnet.DefaultOptions()
+		opt.Warmup = 10 * sim.Microsecond
+		opt.Window = 30 * sim.Microsecond
+		opt.DDIO = true
+		opt.Preset = func() host.Config { return cfg }
+		pts := exp.RunAppColocation(exp.GAPBSPR, hostnet.DMAWrite, []int{4}, opt)
+		return pts[0].AppDegradation()
+	}
+	var both, swizzleOnly, readsOnly, neither float64
+	for i := 0; i < b.N; i++ {
+		both = run(true, 0.25)
+		swizzleOnly = run(true, 0)
+		readsOnly = run(false, 0.25)
+		neither = run(false, 0)
+	}
+	b.ReportMetric(both, "both-degr-x")
+	b.ReportMetric(swizzleOnly, "swizzle-only-x")
+	b.ReportMetric(readsOnly, "dirreads-only-x")
+	b.ReportMetric(neither, "neither-x")
+}
+
+// BenchmarkAblationHostCC quantifies the §7 mitigation: red-regime P2M
+// degradation with and without the controller.
+func BenchmarkAblationHostCC(b *testing.B) {
+	opt := hostnet.DefaultOptions()
+	opt.Warmup = 10 * sim.Microsecond
+	opt.Window = 40 * sim.Microsecond
+	var s exp.HostCCStudy
+	for i := 0; i < b.N; i++ {
+		s = exp.RunHostCCStudy(exp.Q3, 5, hostcc.DefaultConfig(), opt)
+	}
+	b.ReportMetric(s.P2MDegrOff(), "p2m-degr-off-x")
+	b.ReportMetric(s.P2MDegrOn(), "p2m-degr-on-x")
+	b.ReportMetric(s.C2MDegrOn(), "c2m-degr-on-x")
+}
+
+// BenchmarkAblationPrefetch quantifies the §2.2 prefetching claim.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	opt := hostnet.DefaultOptions()
+	opt.Warmup = 10 * sim.Microsecond
+	opt.Window = 40 * sim.Microsecond
+	var s exp.PrefetchStudy
+	for i := 0; i < b.N; i++ {
+		s = exp.RunPrefetchStudy(2, opt)
+	}
+	b.ReportMetric(s.IsoOn/s.IsoOff, "iso-speedup-x")
+	b.ReportMetric(s.DegradationOff(), "degr-off-x")
+	b.ReportMetric(s.DegradationOn(), "degr-on-x")
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkAblationMCIsolation quantifies the WPQ-reservation alternative
+// to hostCC: P2M protection by memory-controller scheduling alone.
+func BenchmarkAblationMCIsolation(b *testing.B) {
+	opt := hostnet.DefaultOptions()
+	opt.Warmup = 10 * sim.Microsecond
+	opt.Window = 40 * sim.Microsecond
+	var s exp.MCIsolationStudy
+	for i := 0; i < b.N; i++ {
+		s = exp.RunMCIsolationStudy(5, 16, opt)
+	}
+	b.ReportMetric(s.P2MDegrOff(), "p2m-degr-off-x")
+	b.ReportMetric(s.P2MDegrOn(), "p2m-degr-on-x")
+	b.ReportMetric(s.C2MDegrOn(), "c2m-degr-on-x")
+}

@@ -1,0 +1,213 @@
+// Command hostnetsim regenerates the tables and figures of "Understanding
+// the Host Network" (SIGCOMM 2024) from the simulator.
+//
+// Usage:
+//
+//	hostnetsim [flags] <experiment> [experiment...]
+//
+// Experiments: table1, fig1, fig2, fig3, fig6, fig7, fig8, fig11, fig12,
+// fig13, fig14, fig15, fig16, fig17, fig18, fig19, fig23, fig27, fig29,
+// domains, all.
+//
+// Flags:
+//
+//	-window   measurement window (default 100us; larger = smoother numbers)
+//	-warmup   warmup before measuring (default 20us)
+//	-ddio     enable DDIO for the quadrant experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/hostnet"
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+func main() {
+	window := flag.Duration("window", 100*time.Microsecond, "measurement window (simulated)")
+	warmup := flag.Duration("warmup", 20*time.Microsecond, "warmup before measuring (simulated)")
+	ddio := flag.Bool("ddio", false, "enable DDIO in quadrant experiments")
+	csvOut := flag.Bool("csv", false, "emit quadrant experiments as CSV instead of tables")
+	flag.Parse()
+	emitCSV = *csvOut
+
+	opt := hostnet.DefaultOptions()
+	opt.Window = sim.Time(window.Nanoseconds()) * sim.Nanosecond
+	opt.Warmup = sim.Time(warmup.Nanoseconds()) * sim.Nanosecond
+	opt.DDIO = *ddio
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: hostnetsim [flags] <experiment>...")
+		fmt.Fprintln(os.Stderr, "experiments: table1 fig1 fig2 fig3 fig6 fig7 fig8 fig11 fig12 fig13 fig14")
+		fmt.Fprintln(os.Stderr, "             fig15 fig16 fig17 fig18 fig19 fig23 fig27 fig29 domains")
+		fmt.Fprintln(os.Stderr, "             prefetch hostcc mcisolation ratio cxl all")
+		os.Exit(2)
+	}
+	for _, a := range args {
+		if a == "all" {
+			run(opt, "table1", "fig3", "fig6", "fig7", "fig8", "fig11", "fig13", "fig14",
+				"fig1", "fig2", "fig15", "fig16", "fig17", "fig18", "fig19", "fig23", "fig27", "fig29")
+			return
+		}
+	}
+	run(opt, args...)
+}
+
+var emitCSV bool
+
+func run(opt hostnet.Options, names ...string) {
+	w := os.Stdout
+	for _, name := range names {
+		switch name {
+		case "table1":
+			hostnet.RenderTable1(w)
+		case "fig3":
+			res := hostnet.RunFig3(opt)
+			if emitCSV {
+				for _, q := range []hostnet.Quadrant{hostnet.Q1, hostnet.Q2, hostnet.Q3, hostnet.Q4} {
+					if err := exp.QuadrantCSV(res[q]).WriteCSV(w); err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+				}
+			} else {
+				hostnet.RenderQuadrants(w, res)
+			}
+		case "fig6", "domains":
+			hostnet.RenderDomainEvidence(w, hostnet.RunFig6(opt))
+			for _, d := range hostnet.CascadeLakeDomains() {
+				fmt.Fprintln(w, d)
+			}
+			fmt.Fprintln(w)
+		case "fig7":
+			exp.RenderQuadrantProbes(w, "Fig 7: quadrant 1 root causes",
+				exp.RunQuadrant(exp.Q1, exp.DefaultCoreSweep(), opt))
+		case "fig8":
+			exp.RenderQuadrantProbes(w, "Fig 8: quadrant 3 root causes",
+				exp.RunQuadrant(exp.Q3, exp.DefaultCoreSweep(), opt))
+		case "fig13":
+			exp.RenderQuadrantProbes(w, "Fig 13: quadrant 2 root causes",
+				exp.RunQuadrant(exp.Q2, exp.DefaultCoreSweep(), opt))
+		case "fig14":
+			exp.RenderQuadrantProbes(w, "Fig 14: quadrant 4 root causes",
+				exp.RunQuadrant(exp.Q4, exp.DefaultCoreSweep(), opt))
+		case "fig11", "fig12":
+			hostnet.RenderFormula(w, hostnet.RunFig11(opt))
+		case "fig1":
+			res := hostnet.RunFig1(opt.Window)
+			exp.RenderApps(w, "Fig 1: Redis/GAPBS + FIO on Ice Lake (DDIO on)",
+				map[string][]exp.AppPoint{"Redis": res.Redis, "GAPBS-PR": res.GAPBS})
+		case "fig2":
+			res := hostnet.RunFig2(opt.Window)
+			exp.RenderApps(w, "Fig 2: DDIO on/off on Cascade Lake", map[string][]exp.AppPoint{
+				"Redis(on)": res.RedisOn, "Redis(off)": res.RedisOff,
+				"GAPBS(on)": res.GAPBSOn, "GAPBS(off)": res.GAPBSOff,
+			})
+		case "fig15":
+			renderGrid(w, hostnet.RunFig15(opt.Window))
+		case "fig16":
+			renderGrid(w, hostnet.RunFig16(opt.Window))
+		case "fig17":
+			renderGrid(w, hostnet.RunFig17(opt.Window))
+		case "fig18", "fig20", "fig21", "fig22", "fig24":
+			hostnet.RenderRDMA(w, hostnet.RunFig18(opt))
+		case "fig19", "fig25", "fig26":
+			read, rw := hostnet.RunFig19(opt)
+			hostnet.RenderDCTCP(w, read, rw)
+		case "fig23":
+			pts := hostnet.RunRDMAQuadrant(hostnet.Q3, []int{4, 5, 6}, opt)
+			for _, p := range pts {
+				fmt.Fprintf(w, "Fig 23: RDMA Q3 cores=%d pause=%.2f  us-scale IIO occupancy: %v\n",
+					p.Cores, p.PauseFrac, head(p.IIOOccSamples, 40))
+			}
+			fmt.Fprintln(w)
+		case "fig27", "fig28":
+			hostnet.RenderFormula(w, hostnet.RunFig27(opt))
+		case "fig29", "fig30":
+			read, rw := hostnet.RunFig29(opt)
+			renderDCTCPFormula(w, read, rw)
+		case "prefetch":
+			s := hostnet.RunPrefetchStudy(2, opt)
+			fmt.Fprintf(w, "prefetch study (2 C2M-Read cores + P2M-Write):\n")
+			fmt.Fprintf(w, "  isolated:  %.1f -> %.1f GB/s with prefetching\n", s.IsoOff/1e9, s.IsoOn/1e9)
+			fmt.Fprintf(w, "  colocated: %.1f -> %.1f GB/s with prefetching\n", s.CoOff/1e9, s.CoOn/1e9)
+			fmt.Fprintf(w, "  degradation ratio: %.2fx off vs %.2fx on (roughly unchanged)\n\n",
+				s.DegradationOff(), s.DegradationOn())
+		case "cxl":
+			iso := hostnet.NewWithCXL(hostnet.CascadeLake(), hostnet.DefaultCXLConfig())
+			iso.AddCore(hostnet.SeqRead(iso.CXLRegion(1<<30), 1<<30))
+			iso.Run(opt.Warmup, opt.Window)
+			co := hostnet.NewWithCXL(hostnet.CascadeLake(), hostnet.DefaultCXLConfig())
+			co.AddCore(hostnet.SeqRead(co.CXLRegion(1<<30), 1<<30))
+			co.AddStorage(hostnet.BulkStorage(hostnet.DMAWrite, co.Region(1<<30)))
+			co.Run(opt.Warmup, opt.Window)
+			fmt.Fprintf(w, "CXL.mem expander (latency-for-isolation trade):\n")
+			fmt.Fprintf(w, "  CXL-homed reads: %.0f ns, %.2f GB/s (DRAM-homed: ~71 ns, ~10.8 GB/s)\n",
+				iso.Cores[0].Stats().LFBLat.AvgNanos(), iso.C2MBW()/1e9)
+			fmt.Fprintf(w, "  colocated with host-DRAM P2M writes: %.0f ns (untouched), P2M %.2f GB/s (untouched)\n\n",
+				co.Cores[0].Stats().LFBLat.AvgNanos(), co.P2MBW()/1e9)
+		case "ratio":
+			pts := exp.RunRatioSweep(5, []float64{0, 0.25, 0.5, 0.75, 1.0}, opt)
+			t := exp.Table{
+				Title:  "write-ratio sweep: the continuous blue->red transition (5 C2M cores + P2M-Write)",
+				Header: []string{"writeFrac", "C2M degr", "P2M degr", "WPQ full", "backlog"},
+			}
+			for _, p := range pts {
+				t.Add(fmt.Sprintf("%.2f", p.WriteFrac), fmt.Sprintf("%.2fx", p.C2MDegradation()),
+					fmt.Sprintf("%.2fx", p.P2MDegradation()), fmt.Sprintf("%.2f", p.WPQFullFrac),
+					fmt.Sprintf("%.1f", p.WBacklog))
+			}
+			t.Render(w)
+		case "mcisolation":
+			s := exp.RunMCIsolationStudy(5, 16, opt)
+			fmt.Fprintf(w, "MC isolation via WPQ reservation (red regime, Q3 with 5 cores, reserve=16):\n")
+			fmt.Fprintf(w, "  P2M degradation: %.2fx -> %.2fx\n", s.P2MDegrOff(), s.P2MDegrOn())
+			fmt.Fprintf(w, "  C2M degradation: %.2fx -> %.2fx\n\n", s.C2MDegrOff(), s.C2MDegrOn())
+		case "hostcc":
+			s := hostnet.RunHostCCStudy(hostnet.Q3, 5, hostnet.DefaultHostCCConfig(), opt)
+			fmt.Fprintf(w, "hostCC-style mitigation (red regime, Q3 with 5 cores):\n")
+			fmt.Fprintf(w, "  P2M degradation: %.2fx -> %.2fx\n", s.P2MDegrOff(), s.P2MDegrOn())
+			fmt.Fprintf(w, "  C2M degradation: %.2fx -> %.2fx\n", s.C2MDegrOff(), s.C2MDegrOn())
+			fmt.Fprintf(w, "  congested %.0f%% of intervals, avg throttle %.0f ns\n\n",
+				s.CongestedFrac*100, s.AvgGapNanos)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+}
+
+func renderGrid(w *os.File, g exp.AppGridResult) {
+	exp.RenderApps(w, fmt.Sprintf("Appendix B %s", g.Fig), map[string][]exp.AppPoint{
+		"Redis(on)": g.RedisOn, "Redis(off)": g.RedisOff,
+		"GAPBS(on)": g.GAPBSOn, "GAPBS(off)": g.GAPBSOff,
+	})
+}
+
+func renderDCTCPFormula(w *os.File, read, rw []exp.DCTCPFormulaPoint) {
+	t := exp.Table{
+		Title:  "Fig 29: formula error in the TCP case study (%)",
+		Header: []string{"case", "cores", "mem err", "net C2M err", "net P2M err"},
+	}
+	for _, f := range read {
+		t.Add("C2MRead", f.C2MCores, fmt.Sprintf("%+.1f", f.MemErrPct),
+			fmt.Sprintf("%+.1f", f.NetC2MErrPct), fmt.Sprintf("%+.1f", f.NetP2MErrPct))
+	}
+	for _, f := range rw {
+		t.Add("C2MReadWrite", f.C2MCores, fmt.Sprintf("%+.1f", f.MemErrPct),
+			fmt.Sprintf("%+.1f", f.NetC2MErrPct), fmt.Sprintf("%+.1f", f.NetP2MErrPct))
+	}
+	t.Render(w)
+}
+
+func head(xs []int, n int) []int {
+	if len(xs) > n {
+		return xs[:n]
+	}
+	return xs
+}

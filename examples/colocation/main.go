@@ -1,0 +1,17 @@
+// Colocation sweeps the four quadrants of §2.2 on the Cascade Lake preset
+// and prints the blue/red regime classification per data point — the
+// reproduction of Fig 3 through the public API.
+package main
+
+import (
+	"os"
+
+	"repro/hostnet"
+)
+
+func main() {
+	opt := hostnet.DefaultOptions()
+	hostnet.RenderQuadrants(os.Stdout, hostnet.RunFig3(opt))
+	hostnet.RenderDomainEvidence(os.Stdout, hostnet.RunFig6(opt))
+	hostnet.RenderFormula(os.Stdout, hostnet.RunFig11(opt))
+}

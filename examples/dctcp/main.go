@@ -1,0 +1,29 @@
+// DCTCP reproduces the TCP case study (§2.3, Appendix C.2/D.2): with an
+// in-kernel transport, the network application generates C2M traffic (the
+// socket-to-application data copy) in addition to P2M traffic, so BOTH the
+// memory app and the network app degrade — and in the read-write case the
+// network app's degradation overtakes the memory app's as the red regime
+// bites.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/hostnet"
+)
+
+func main() {
+	opt := hostnet.DefaultOptions()
+	read, rw := hostnet.RunFig19(opt)
+	hostnet.RenderDCTCP(os.Stdout, read, rw)
+
+	last := rw[len(rw)-1]
+	fmt.Printf("at %d C2M-ReadWrite cores: memory app %.2fx vs network app %.2fx — ",
+		last.C2MCores, last.MemAppDegradation(), last.NetAppDegradation())
+	if last.NetAppDegradation() >= last.MemAppDegradation() {
+		fmt.Println("the network app has crossed over (red regime reaches the wire)")
+	} else {
+		fmt.Println("approaching the crossover")
+	}
+}

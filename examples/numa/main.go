@@ -1,0 +1,40 @@
+// NUMA explores the paper's §7 "multiple sockets" direction: a two-socket
+// host where contention follows the data, not the core. A socket-0 reader
+// of socket-1 memory pays the UPI hops (~70 -> ~150 ns unloaded) and then
+// degrades when socket-1's own P2M traffic contends at the home memory
+// controller — but by a smaller relative factor, because the interconnect
+// hops amortize the queueing.
+package main
+
+import (
+	"fmt"
+
+	"repro/hostnet"
+)
+
+func main() {
+	warm, win := 20*hostnet.Microsecond, 100*hostnet.Microsecond
+
+	local := hostnet.NewDual(hostnet.CascadeLake(), hostnet.DefaultUPIConfig())
+	local.AddCoreOn(0, hostnet.SeqRead(local.RegionOn(0, 1<<30), 1<<30))
+	local.Run(warm, win)
+
+	remote := hostnet.NewDual(hostnet.CascadeLake(), hostnet.DefaultUPIConfig())
+	remote.AddCoreOn(0, hostnet.SeqRead(remote.RegionOn(1, 1<<30), 1<<30))
+	remote.Run(warm, win)
+
+	fmt.Printf("local  read: %.0f ns, %.2f GB/s\n",
+		local.Cores[0].Stats().LFBLat.AvgNanos(), local.C2MBW()/1e9)
+	fmt.Printf("remote read: %.0f ns, %.2f GB/s (UPI hops; same 12 credits)\n\n",
+		remote.Cores[0].Stats().LFBLat.AvgNanos(), remote.C2MBW()/1e9)
+
+	co := hostnet.NewDual(hostnet.CascadeLake(), hostnet.DefaultUPIConfig())
+	co.AddCoreOn(0, hostnet.SeqRead(co.RegionOn(1, 1<<30), 1<<30))
+	co.AddStorageOn(1, hostnet.BulkStorage(hostnet.DMAWrite, co.RegionOn(1, 1<<30)))
+	co.Run(warm, win)
+	fmt.Printf("remote read + home-socket P2M writes: %.0f ns, %.2f GB/s (degradation %.2fx)\n",
+		co.Cores[0].Stats().LFBLat.AvgNanos(), co.C2MBW()/1e9, remote.C2MBW()/co.C2MBW())
+	fmt.Printf("P2M: %.2f GB/s (unaffected — blue regime across sockets)\n", co.P2MBW()/1e9)
+	fmt.Printf("UPI remote reads: %d, return-direction busy %.0f%%\n",
+		co.UPI.Stats().RemoteReads.Count(), co.UPI.Stats().LinkBusy[1].Frac()*100)
+}

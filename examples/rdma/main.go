@@ -1,0 +1,30 @@
+// RDMA reproduces the RoCE/PFC case study (§2.3, Appendix C/D): NIC-
+// generated P2M traffic shows the same blue and red regimes as local
+// storage, and in the red regime PFC pauses appear while the IIO write
+// buffer stays near capacity (Fig 23).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/hostnet"
+)
+
+func main() {
+	opt := hostnet.DefaultOptions()
+	hostnet.RenderRDMA(os.Stdout, hostnet.RunFig18(opt))
+
+	// Microsecond-scale IIO occupancy under red-regime PFC (Fig 23).
+	pts := hostnet.RunRDMAQuadrant(hostnet.Q3, []int{4, 5, 6}, opt)
+	for _, p := range pts {
+		nearFull := 0
+		for _, s := range p.IIOOccSamples {
+			if s >= 80 {
+				nearFull++
+			}
+		}
+		fmt.Printf("Q3 with %d C2M cores: PFC pause %.0f%% of time; IIO write buffer >=80/92 in %d%% of 1us samples\n",
+			p.Cores, p.PauseFrac*100, 100*nearFull/len(p.IIOOccSamples))
+	}
+}

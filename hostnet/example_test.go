@@ -1,0 +1,30 @@
+package hostnet_test
+
+import (
+	"fmt"
+
+	"repro/hostnet"
+)
+
+// The quickstart flow: build the Cascade Lake host, colocate a memory-bound
+// app with a storage workload, and classify the outcome through the domain
+// lens. Deterministic, so the output is exact.
+func Example() {
+	iso := hostnet.New(hostnet.CascadeLake())
+	iso.AddCore(hostnet.SeqRead(iso.Region(1<<30), 1<<30))
+	iso.Run(20*hostnet.Microsecond, 100*hostnet.Microsecond)
+
+	h := hostnet.New(hostnet.CascadeLake())
+	h.AddCore(hostnet.SeqRead(h.Region(1<<30), 1<<30))
+	h.AddStorage(hostnet.BulkStorage(hostnet.DMAWrite, h.Region(1<<30)))
+	h.Run(20*hostnet.Microsecond, 100*hostnet.Microsecond)
+
+	degr := iso.C2MReadBW() / h.C2MReadBW()
+	fmt.Printf("C2M degradation: %.2fx\n", degr)
+	fmt.Printf("P2M throughput:  %.1f GB/s\n", h.P2MBW()/1e9)
+	fmt.Printf("regime: %v\n", hostnet.Classify(degr, 1.0))
+	// Output:
+	// C2M degradation: 1.27x
+	// P2M throughput:  14.0 GB/s
+	// regime: blue
+}

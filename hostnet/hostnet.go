@@ -1,0 +1,259 @@
+// Package hostnet is the public API of the host-network simulator — a
+// reproduction of "Understanding the Host Network" (SIGCOMM 2024).
+//
+// The library decomposes a server host into the components of the paper's
+// §3 — cores with Line Fill Buffers, the CHA/LLC, a DDR4 memory controller
+// with per-channel read/write pending queues, DRAM banks, the IIO and PCIe
+// link, and peripheral devices — and simulates data movement at cacheline
+// granularity under domain-by-domain credit-based flow control (§4).
+//
+// # Quick start
+//
+//	h := hostnet.New(hostnet.CascadeLake())
+//	h.AddCore(hostnet.SeqRead(h.Region(1<<30), 1<<30)) // a C2M-Read app
+//	h.AddStorage(hostnet.BulkStorage(hostnet.DMAWrite, h.Region(1<<30)))
+//	h.Run(20*hostnet.Microsecond, 100*hostnet.Microsecond)
+//	fmt.Println(h.C2MBW(), h.P2MBW()) // colocated throughputs
+//
+// Experiments reproducing every figure and table of the paper live behind
+// the Run* functions (RunFig3, RunFig6, RunFig11, ...); cmd/hostnetsim
+// exposes them on the command line.
+package hostnet
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/cxl"
+	"repro/internal/exp"
+	"repro/internal/host"
+	"repro/internal/hostcc"
+	"repro/internal/mem"
+	"repro/internal/numa"
+	"repro/internal/periph"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Re-exported fundamental types.
+type (
+	// Time is simulated time in picoseconds.
+	Time = sim.Time
+	// Addr is a physical byte address.
+	Addr = mem.Addr
+	// Config describes a host (use CascadeLake/IceLake for the paper's
+	// testbeds).
+	Config = host.Config
+	// Host is an assembled host network.
+	Host = host.Host
+	// Generator supplies a core's access stream.
+	Generator = cpu.Generator
+	// StorageConfig describes a FIO-style device workload.
+	StorageConfig = periph.Config
+	// Domain is the paper's credit-based flow-control domain abstraction.
+	Domain = core.Domain
+	// DomainKind names one of the four domains.
+	DomainKind = core.DomainKind
+	// Measurement is a domain's observed behaviour over a window.
+	Measurement = core.Measurement
+	// Regime classifies a colocation outcome (blue/red).
+	Regime = core.Regime
+	// Options configure an experiment run.
+	Options = exp.Options
+	// Quadrant identifies a §2.2 colocation scenario.
+	Quadrant = exp.Quadrant
+	// Prefetcher is the per-core hardware stream prefetcher template.
+	Prefetcher = cpu.Prefetcher
+	// HostCC is the in-host congestion controller (the paper's §7 future-
+	// work direction, in the spirit of hostCC/SIGCOMM'23).
+	HostCC = hostcc.Controller
+	// HostCCConfig tunes the controller.
+	HostCCConfig = hostcc.Config
+	// DualHost is a two-socket host joined by a UPI-style interconnect (the
+	// paper's §7 "multiple sockets" extension).
+	DualHost = host.DualHost
+	// UPIConfig models the socket interconnect.
+	UPIConfig = numa.Config
+	// CXLConfig models a CXL.mem expander and its link (§7 "new
+	// interconnects").
+	CXLConfig = cxl.Config
+)
+
+// Time units.
+const (
+	Picosecond  = sim.Picosecond
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Domains.
+const (
+	C2MRead  = core.C2MRead
+	C2MWrite = core.C2MWrite
+	P2MRead  = core.P2MRead
+	P2MWrite = core.P2MWrite
+)
+
+// Regimes.
+const (
+	NoContention = core.NoContention
+	Blue         = core.Blue
+	Red          = core.Red
+)
+
+// Quadrants.
+const (
+	Q1 = exp.Q1
+	Q2 = exp.Q2
+	Q3 = exp.Q3
+	Q4 = exp.Q4
+)
+
+// DMA directions for storage workloads.
+const (
+	// DMAWrite models storage reads: the device writes host memory.
+	DMAWrite = periph.DMAWrite
+	// DMARead models storage writes: the device reads host memory.
+	DMARead = periph.DMARead
+)
+
+// CascadeLake returns the Table 1 Cascade Lake preset.
+func CascadeLake() Config { return host.CascadeLake() }
+
+// IceLake returns the Table 1 Ice Lake preset.
+func IceLake() Config { return host.IceLake() }
+
+// New assembles a host.
+func New(cfg Config) *Host { return host.New(cfg) }
+
+// NewDual assembles a two-socket host with the given per-socket config.
+func NewDual(cfg Config, upi UPIConfig) *DualHost { return host.NewDual(cfg, upi) }
+
+// DefaultUPIConfig returns a ~40 ns, ~20 GB/s-per-direction socket link.
+func DefaultUPIConfig() UPIConfig { return numa.DefaultConfig() }
+
+// NewWithCXL assembles a host with a CXL.mem expander; allocate expander-
+// homed buffers with the host's CXLRegion.
+func NewWithCXL(cfg Config, cxlCfg CXLConfig) *Host { return host.NewWithCXL(cfg, cxlCfg) }
+
+// DefaultCXLConfig returns a single-channel expander behind a ~32 GB/s,
+// ~85 ns-one-way link (unloaded reads ~210-250 ns).
+func DefaultCXLConfig() CXLConfig { return cxl.DefaultConfig() }
+
+// SeqRead returns the paper's C2M-Read workload (sequential AVX512-style
+// loads over a private buffer).
+func SeqRead(base Addr, bytes int64) Generator { return workload.NewSeqRead(base, bytes) }
+
+// SeqReadWrite returns the paper's C2M-ReadWrite workload (sequential
+// stores: RFO reads plus eviction writebacks, 50/50 memory traffic).
+func SeqReadWrite(base Addr, bytes int64) Generator { return workload.NewSeqReadWrite(base, bytes) }
+
+// RandRead returns a GAPBS-PageRank-style uniform-random read stream.
+func RandRead(base Addr, bytes int64, seed uint64) Generator {
+	return workload.NewRandRead(base, bytes, seed)
+}
+
+// MixedRandom returns a random stream with the given write fraction and
+// per-access compute gap.
+func MixedRandom(base Addr, bytes int64, writeFrac float64, gap Time, seed uint64) Generator {
+	return workload.NewMix(base, bytes, writeFrac, gap, seed)
+}
+
+// SeqMix returns a sequential stream where each line is stored (RFO read +
+// writeback) with the given probability — the knob behind read/write-ratio
+// sweeps.
+func SeqMix(base Addr, bytes int64, writeFrac float64, seed uint64) Generator {
+	return workload.NewSeqMix(base, bytes, writeFrac, seed)
+}
+
+// Trace is a replayable access sequence; Record and Replay make workloads
+// portable across host configurations.
+type Trace = workload.Trace
+
+// Record wraps a generator, capturing up to limit accesses; retrieve the
+// capture with the returned recorder's Trace method.
+func Record(inner Generator, limit int) *workload.Recorder {
+	return workload.NewRecorder(inner, limit)
+}
+
+// ReplayTrace replays a recorded trace, honoring its request spacing.
+func ReplayTrace(t Trace, loop bool) Generator { return workload.NewReplay(t, loop) }
+
+// BulkStorage returns the paper's bulk FIO workload (8 MB sequential
+// requests, deep queue).
+func BulkStorage(dir periph.Direction, base Addr) StorageConfig {
+	return periph.BulkConfig(dir, base)
+}
+
+// ProbeStorage returns the low-load probe (4 KB requests at queue depth 1).
+func ProbeStorage(dir periph.Direction, base Addr) StorageConfig {
+	return periph.ProbeConfig(dir, base)
+}
+
+// CascadeLakeDomains returns the §4.2 characterization of the four domains.
+func CascadeLakeDomains() [4]Domain { return core.CascadeLakeDomains() }
+
+// Classify maps (C2M, P2M) degradation factors to a contention regime.
+func Classify(c2mDegr, p2mDegr float64) Regime { return core.Classify(c2mDegr, p2mDegr) }
+
+// Explain produces the causal narrative for a domain measurement pair.
+func Explain(d Domain, loaded, unloaded Measurement) string {
+	return core.Explain(d, loaded, unloaded)
+}
+
+// DefaultOptions returns the experiment defaults (Cascade Lake, DDIO off,
+// 20 us warmup, 100 us window).
+func DefaultOptions() Options { return exp.Defaults() }
+
+// Experiment entry points, one per paper artifact. Each returns structured
+// results; the matching Render* helper prints the same rows the paper
+// reports.
+var (
+	RunFig3  = exp.RunFig3
+	RunFig6  = exp.RunFig6
+	RunFig11 = exp.RunFig11
+	RunFig18 = exp.RunFig18
+	RunFig19 = exp.RunFig19
+	RunFig27 = exp.RunFig27
+	RunFig29 = exp.RunFig29
+	RunFig1  = exp.RunFig1
+	RunFig2  = exp.RunFig2
+	RunFig15 = exp.RunFig15
+	RunFig16 = exp.RunFig16
+	RunFig17 = exp.RunFig17
+
+	RunQuadrant         = exp.RunQuadrant
+	RunRDMAQuadrant     = exp.RunRDMAQuadrant
+	RunDCTCP            = exp.RunDCTCP
+	RunPrefetchStudy    = exp.RunPrefetchStudy
+	RunHostCCStudy      = exp.RunHostCCStudy
+	RunMCIsolationStudy = exp.RunMCIsolationStudy
+)
+
+// DefaultPrefetcher returns the L2-stream-prefetcher template; assign it to
+// Config.Core.Prefetch to enable prefetching.
+func DefaultPrefetcher() *Prefetcher { return cpu.DefaultPrefetcher() }
+
+// NewHostCC builds a host congestion controller over a host's C2M cores;
+// call Start before Run.
+func NewHostCC(h *Host, cfg HostCCConfig) *HostCC {
+	return hostcc.New(h.Eng, cfg, h.IIO, h.CHA, h.Cores)
+}
+
+// DefaultHostCCConfig returns the Cascade-Lake-tuned controller parameters.
+func DefaultHostCCConfig() HostCCConfig { return hostcc.DefaultConfig() }
+
+// Rendering helpers.
+func RenderTable1(w io.Writer) { exp.RenderTable1(w) }
+func RenderQuadrants(w io.Writer, res map[Quadrant][]exp.QuadrantPoint) {
+	exp.RenderQuadrants(w, res)
+}
+func RenderDomainEvidence(w io.Writer, ev exp.DomainEvidence) { exp.RenderDomainEvidence(w, ev) }
+func RenderFormula(w io.Writer, res map[Quadrant][]exp.FormulaPoint) {
+	exp.RenderFormula(w, res)
+}
+func RenderRDMA(w io.Writer, res map[Quadrant][]exp.RDMAQuadrantPoint) { exp.RenderRDMA(w, res) }
+func RenderDCTCP(w io.Writer, read, rw []exp.DCTCPPoint)               { exp.RenderDCTCP(w, read, rw) }

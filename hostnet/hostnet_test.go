@@ -1,0 +1,77 @@
+package hostnet_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/hostnet"
+)
+
+// The public API end to end: the quickstart flow must reproduce the blue
+// regime without touching internal packages.
+func TestPublicAPIQuickstart(t *testing.T) {
+	iso := hostnet.New(hostnet.CascadeLake())
+	iso.AddCore(hostnet.SeqRead(iso.Region(1<<30), 1<<30))
+	iso.Run(20*hostnet.Microsecond, 60*hostnet.Microsecond)
+	isoBW := iso.C2MReadBW()
+
+	h := hostnet.New(hostnet.CascadeLake())
+	h.AddCore(hostnet.SeqRead(h.Region(1<<30), 1<<30))
+	h.AddStorage(hostnet.BulkStorage(hostnet.DMAWrite, h.Region(1<<30)))
+	h.Run(20*hostnet.Microsecond, 60*hostnet.Microsecond)
+
+	degr := isoBW / h.C2MReadBW()
+	if got := hostnet.Classify(degr, 1.0); got != hostnet.Blue {
+		t.Fatalf("quickstart regime = %v (degr %.2fx), want blue", got, degr)
+	}
+	if h.P2MBW() < 13e9 {
+		t.Fatalf("P2M bw %.1f GB/s", h.P2MBW()/1e9)
+	}
+}
+
+func TestPublicDomainsAndExplain(t *testing.T) {
+	ds := hostnet.CascadeLakeDomains()
+	if ds[0].Kind != hostnet.C2MRead || ds[3].Kind != hostnet.P2MWrite {
+		t.Fatalf("domain ordering wrong")
+	}
+	m := hostnet.Measurement{Kind: hostnet.C2MRead, AvgLatencyNanos: 91, MaxCreditsInUse: 12, AvgCreditsInUse: 12}
+	u := hostnet.Measurement{Kind: hostnet.C2MRead, AvgLatencyNanos: 70}
+	if s := hostnet.Explain(ds[0], m, u); !strings.Contains(s, "credits saturated") {
+		t.Fatalf("Explain = %q", s)
+	}
+}
+
+func TestPublicWorkloadConstructors(t *testing.T) {
+	h := hostnet.New(hostnet.CascadeLake())
+	h.AddCore(hostnet.SeqReadWrite(h.Region(1<<30), 1<<30))
+	h.AddCore(hostnet.RandRead(h.Region(1<<30), 1<<30, 7))
+	h.AddCore(hostnet.MixedRandom(h.Region(1<<30), 1<<30, 0.2, 10*hostnet.Nanosecond, 9))
+	h.Run(10*hostnet.Microsecond, 20*hostnet.Microsecond)
+	if h.C2MBW() <= 0 {
+		t.Fatalf("no progress through public constructors")
+	}
+}
+
+func TestPublicPrefetcherAndHostCC(t *testing.T) {
+	cfg := hostnet.CascadeLake()
+	cfg.Core.Prefetch = hostnet.DefaultPrefetcher()
+	h := hostnet.New(cfg)
+	h.AddCore(hostnet.SeqRead(h.Region(1<<30), 1<<30))
+	ctl := hostnet.NewHostCC(h, hostnet.DefaultHostCCConfig())
+	ctl.Start(0)
+	h.Run(10*hostnet.Microsecond, 30*hostnet.Microsecond)
+	if h.C2MBW() <= 11e9 {
+		t.Fatalf("prefetch-enabled core at %.1f GB/s, want above the non-prefetch ~10.8", h.C2MBW()/1e9)
+	}
+	if ctl.Congested.Frac() != 0 {
+		t.Fatalf("controller congested with no P2M traffic")
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	var sb strings.Builder
+	hostnet.RenderTable1(&sb)
+	if !strings.Contains(sb.String(), "CascadeLake") {
+		t.Fatalf("table1 render missing content")
+	}
+}

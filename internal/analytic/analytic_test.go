@@ -1,0 +1,163 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// handInputs builds a worked example with round numbers so each formula term
+// can be checked by hand.
+func handInputs() Inputs {
+	return Inputs{
+		PFillWPQ:     0.5,
+		NWaiting:     10,
+		Switches:     200, // 100 drain round trips
+		LinesRead:    1000,
+		LinesWritten: 500,
+		ORPQ:         4,
+		ACTRead:      100,
+		ACTWrite:     50,
+		PREConfRead:  60,
+		PREConfWrite: 30,
+		TWTR:         12, TRTW: 8, TTrans: 3, TACT: 15, TPRE: 15,
+	}
+}
+
+func TestReadQueueingDelayByHand(t *testing.T) {
+	c := handInputs().ReadQueueingDelay()
+	// Switching: ORPQ * (#sw/2 / linesRead) * tWTR = 4 * (100/1000) * 12 = 4.8
+	if math.Abs(c.Switching-4.8) > 1e-9 {
+		t.Fatalf("switching = %v, want 4.8", c.Switching)
+	}
+	// WriteHoL: ORPQ * (linesW/linesR) * tTrans = 4 * 0.5 * 3 = 6
+	if math.Abs(c.WriteHoL-6) > 1e-9 {
+		t.Fatalf("writeHoL = %v, want 6", c.WriteHoL)
+	}
+	// ReadHoL: (ORPQ-1)*tTrans = 9
+	if math.Abs(c.ReadHoL-9) > 1e-9 {
+		t.Fatalf("readHoL = %v, want 9", c.ReadHoL)
+	}
+	// TopOfQueue: (100/1000)*15 + (60/1000)*15 = 1.5 + 0.9 = 2.4
+	if math.Abs(c.TopOfQueue-2.4) > 1e-9 {
+		t.Fatalf("topOfQueue = %v, want 2.4", c.TopOfQueue)
+	}
+	if math.Abs(c.Total()-22.2) > 1e-9 {
+		t.Fatalf("total = %v, want 22.2", c.Total())
+	}
+}
+
+func TestWriteAdmissionDelayByHand(t *testing.T) {
+	c := handInputs().WriteAdmissionDelay()
+	// Before the P(fill) scaling of 0.5:
+	// Switching: N * (#sw/2/linesW) * tRTW = 10 * (100/500) * 8 = 16 -> 8
+	if math.Abs(c.Switching-8) > 1e-9 {
+		t.Fatalf("switching = %v, want 8", c.Switching)
+	}
+	// ReadHoL: N * (linesR/linesW) * tTrans = 10 * 2 * 3 = 60 -> 30
+	if math.Abs(c.ReadHoL-30) > 1e-9 {
+		t.Fatalf("readHoL = %v, want 30", c.ReadHoL)
+	}
+	// WriteHoL: (N-1)*tTrans = 27 -> 13.5
+	if math.Abs(c.WriteHoL-13.5) > 1e-9 {
+		t.Fatalf("writeHoL = %v, want 13.5", c.WriteHoL)
+	}
+	// TopOfQueue: (50/500)*15 + (30/500)*15 = 1.5+0.9 = 2.4 -> 1.2
+	if math.Abs(c.TopOfQueue-1.2) > 1e-9 {
+		t.Fatalf("topOfQueue = %v, want 1.2", c.TopOfQueue)
+	}
+}
+
+func TestEmptyWindowIsZero(t *testing.T) {
+	var in Inputs
+	if in.ReadQueueingDelay().Total() != 0 || in.WriteAdmissionDelay().Total() != 0 {
+		t.Fatalf("empty inputs must produce zero delay")
+	}
+}
+
+func TestWPQNeverFullMeansNoAdmissionDelay(t *testing.T) {
+	in := handInputs()
+	in.PFillWPQ = 0
+	if got := in.WriteAdmissionDelay().Total(); got != 0 {
+		t.Fatalf("AD_write = %v with P(fill)=0, want 0", got)
+	}
+}
+
+func TestLatencyComposition(t *testing.T) {
+	in := handInputs()
+	if got := in.ReadLatency(70); math.Abs(got-92.2) > 1e-9 {
+		t.Fatalf("ReadLatency = %v, want 92.2", got)
+	}
+	wantAD := in.WriteAdmissionDelay().Total()
+	if got := in.WriteLatency(300); math.Abs(got-(300+wantAD)) > 1e-9 {
+		t.Fatalf("WriteLatency = %v", got)
+	}
+}
+
+func TestThroughputInversion(t *testing.T) {
+	// 12 credits at 70ns: 10.97 GB/s.
+	if got := Throughput(12, 70); math.Abs(got-10.97e9) > 0.05e9 {
+		t.Fatalf("Throughput = %.2f GB/s", got/1e9)
+	}
+	if Throughput(12, 0) != 0 {
+		t.Fatalf("zero latency must not divide")
+	}
+}
+
+func TestPairThroughput(t *testing.T) {
+	// 12 credits, read 70ns + write 10ns: 12*128/80ns = 19.2 GB/s.
+	if got := PairThroughput(12, 70, 10); math.Abs(got-19.2e9) > 0.05e9 {
+		t.Fatalf("PairThroughput = %.2f GB/s", got/1e9)
+	}
+}
+
+func TestErrorPctSignConvention(t *testing.T) {
+	if got := ErrorPct(110, 100); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("overestimate should be positive: %v", got)
+	}
+	if got := ErrorPct(90, 100); math.Abs(got+10) > 1e-9 {
+		t.Fatalf("underestimate should be negative: %v", got)
+	}
+	if ErrorPct(1, 0) != 0 {
+		t.Fatalf("zero measured guards division")
+	}
+}
+
+// Property: queueing delay is nonnegative and monotone in ORPQ and in the
+// write load.
+func TestReadDelayMonotoneProperty(t *testing.T) {
+	f := func(orpq, writes uint8) bool {
+		in := handInputs()
+		in.ORPQ = float64(orpq%50) + 1
+		in.LinesWritten = float64(writes) * 10
+		base := in.ReadQueueingDelay().Total()
+		if base < 0 {
+			return false
+		}
+		in2 := in
+		in2.ORPQ++
+		in3 := in
+		in3.LinesWritten += 100
+		return in2.ReadQueueingDelay().Total() > base &&
+			in3.ReadQueueingDelay().Total() >= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: admission delay scales linearly with P(WPQ full).
+func TestWriteDelayScalesWithFillProperty(t *testing.T) {
+	f := func(p uint8) bool {
+		frac := float64(p) / 255
+		in := handInputs()
+		in.PFillWPQ = 1
+		full := in.WriteAdmissionDelay().Total()
+		in.PFillWPQ = frac
+		got := in.WriteAdmissionDelay().Total()
+		return math.Abs(got-frac*full) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 256}); err != nil {
+		t.Fatal(err)
+	}
+}

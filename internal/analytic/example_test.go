@@ -1,0 +1,38 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+)
+
+// The Fig 9 read formula decomposes queueing delay into four terms; here a
+// worked example with round numbers.
+func ExampleInputs_ReadQueueingDelay() {
+	in := analytic.Inputs{
+		Switches:     200,
+		LinesRead:    1000,
+		LinesWritten: 500,
+		ORPQ:         4,
+		ACTRead:      100,
+		PREConfRead:  60,
+		TWTR:         12, TTrans: 3, TACT: 15, TPRE: 15,
+	}
+	c := in.ReadQueueingDelay()
+	fmt.Printf("switching %.1f + writeHoL %.1f + readHoL %.1f + top %.1f = %.1f ns\n",
+		c.Switching, c.WriteHoL, c.ReadHoL, c.TopOfQueue, c.Total())
+	// Output:
+	// switching 4.8 + writeHoL 6.0 + readHoL 9.0 + top 2.4 = 22.2 ns
+}
+
+// Predict needs no measured inputs at all: hardware configuration and
+// offered load in, the blue regime out.
+func ExamplePredict() {
+	hw := analytic.CascadeLakeHW()
+	iso := analytic.Predict(hw, analytic.Workload{C2MCores: 1})
+	co := analytic.Predict(hw, analytic.Workload{C2MCores: 1, P2MWriteBytesPerSec: 14e9})
+	fmt.Printf("isolated %.1f GB/s, colocated %.1f GB/s, P2M %.1f GB/s\n",
+		iso.C2MBytesPerSec/1e9, co.C2MBytesPerSec/1e9, co.P2MBytesPerSec/1e9)
+	// Output:
+	// isolated 10.5 GB/s, colocated 8.4 GB/s, P2M 14.0 GB/s
+}

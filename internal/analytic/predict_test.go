@@ -1,0 +1,78 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPredictUnloadedMatchesCalibration(t *testing.T) {
+	p := Predict(CascadeLakeHW(), Workload{C2MCores: 1})
+	// One core alone: latency near the unloaded 70 ns, throughput near
+	// 12*64/70ns = 11 GB/s.
+	if p.C2MReadLatencyNs < 70 || p.C2MReadLatencyNs > 85 {
+		t.Fatalf("unloaded prediction %.1f ns, want ~70-85", p.C2MReadLatencyNs)
+	}
+	if p.C2MBytesPerSec < 9e9 || p.C2MBytesPerSec > 11.5e9 {
+		t.Fatalf("unloaded throughput %.2f GB/s", p.C2MBytesPerSec/1e9)
+	}
+}
+
+func TestPredictBlueRegimeShape(t *testing.T) {
+	hw := CascadeLakeHW()
+	iso := Predict(hw, Workload{C2MCores: 1})
+	co := Predict(hw, Workload{C2MCores: 1, P2MWriteBytesPerSec: 14e9})
+	degr := iso.C2MBytesPerSec / co.C2MBytesPerSec
+	t.Logf("predicted 1-core Q1: L %.0f->%.0f ns, degradation %.2fx", iso.C2MReadLatencyNs, co.C2MReadLatencyNs, degr)
+	if degr < 1.1 || degr > 1.8 {
+		t.Fatalf("predicted degradation %.2fx outside the paper's blue band", degr)
+	}
+	// P2M unaffected: spare credits at 14 GB/s.
+	if co.P2MBytesPerSec < 13.9e9 {
+		t.Fatalf("P2M predicted to degrade (%.2f GB/s) in the blue regime", co.P2MBytesPerSec/1e9)
+	}
+}
+
+func TestPredictMonotoneInLoad(t *testing.T) {
+	hw := CascadeLakeHW()
+	prev := math.Inf(1)
+	for _, p2m := range []float64{0, 7e9, 14e9} {
+		p := Predict(hw, Workload{C2MCores: 2, P2MWriteBytesPerSec: p2m})
+		perCore := p.C2MBytesPerSec
+		if perCore > prev*1.001 {
+			t.Fatalf("C2M throughput increased with P2M load (%.2f after %.2f GB/s)",
+				perCore/1e9, prev/1e9)
+		}
+		prev = perCore
+	}
+}
+
+func TestPredictConverges(t *testing.T) {
+	for cores := 1; cores <= 6; cores++ {
+		p := Predict(CascadeLakeHW(), Workload{C2MCores: cores, P2MWriteBytesPerSec: 14e9})
+		if p.Iterations >= 100 {
+			t.Fatalf("fixed point did not converge at %d cores", cores)
+		}
+		if p.C2MReadLatencyNs <= 0 || math.IsNaN(p.C2MReadLatencyNs) {
+			t.Fatalf("degenerate latency at %d cores: %v", cores, p.C2MReadLatencyNs)
+		}
+	}
+}
+
+func TestPredictCapacityBound(t *testing.T) {
+	// 6 cores alone demand ~65 GB/s; the 2-channel wire allows ~47 * 0.82.
+	p := Predict(CascadeLakeHW(), Workload{C2MCores: 6})
+	if p.C2MBytesPerSec > 40e9 {
+		t.Fatalf("prediction %.1f GB/s exceeds channel capacity", p.C2MBytesPerSec/1e9)
+	}
+}
+
+func TestPredictReadWriteExpansion(t *testing.T) {
+	ro := Predict(CascadeLakeHW(), Workload{C2MCores: 2})
+	rw := Predict(CascadeLakeHW(), Workload{C2MCores: 2, C2MWrites: true})
+	// ReadWrite moves two lines per credit cycle: higher total bytes at
+	// similar latency.
+	if rw.C2MBytesPerSec < ro.C2MBytesPerSec {
+		t.Fatalf("rw prediction %.1f below read-only %.1f GB/s",
+			rw.C2MBytesPerSec/1e9, ro.C2MBytesPerSec/1e9)
+	}
+}

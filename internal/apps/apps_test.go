@@ -1,0 +1,177 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// drive pumps the generator like a core would, with a fixed completion
+// latency, and returns (reads, writes, queries) after n polls.
+func drive(t *testing.T, r *Redis, eng *sim.Engine, polls int, lat sim.Time) (reads, writes int) {
+	_, reads, writes = driveClock(t, r, polls, lat)
+	return reads, writes
+}
+
+// driveClock is drive with the final simulated clock value exposed.
+func driveClock(t *testing.T, r *Redis, polls int, lat sim.Time) (end sim.Time, reads, writes int) {
+	t.Helper()
+	var pending []cpu.Access
+	now := sim.Time(0)
+	for i := 0; i < polls; i++ {
+		acc, at, ok := r.Poll(now)
+		switch {
+		case !ok:
+			// Blocked on outstanding accesses: complete one.
+			if len(pending) == 0 {
+				t.Fatalf("generator blocked with nothing outstanding")
+			}
+			now += lat
+			r.OnComplete(pending[0], now)
+			pending = pending[1:]
+		case at > now:
+			now = at
+		default:
+			if acc.Kind == mem.Read {
+				reads++
+				pending = append(pending, acc)
+			} else {
+				writes++
+				r.OnComplete(acc, now)
+			}
+		}
+		// Drain completions opportunistically to let parallel value reads
+		// finish.
+		if len(pending) > 12 {
+			now += lat
+			r.OnComplete(pending[0], now)
+			pending = pending[1:]
+		}
+	}
+	return now, reads, writes
+}
+
+func TestRedisReadIssuesOnlyReads(t *testing.T) {
+	eng := sim.New()
+	r := NewRedis(eng, DefaultRedisConfig(), 0)
+	reads, writes := drive(t, r, eng, 2000, 70*sim.Nanosecond)
+	if writes != 0 {
+		t.Fatalf("GET workload issued %d writes", writes)
+	}
+	if reads == 0 {
+		t.Fatalf("no reads issued")
+	}
+}
+
+func TestRedisWriteMixesWrites(t *testing.T) {
+	eng := sim.New()
+	cfg := DefaultRedisConfig()
+	cfg.WriteQueries = true
+	r := NewRedis(eng, cfg, 0)
+	reads, writes := drive(t, r, eng, 4000, 70*sim.Nanosecond)
+	if writes == 0 {
+		t.Fatalf("SET workload issued no writes")
+	}
+	frac := float64(writes) / float64(reads+writes)
+	// Value lines are written back 1:1; chain misses are read-only, so the
+	// write fraction sits a bit below 0.5.
+	if frac < 0.30 || frac > 0.55 {
+		t.Fatalf("write fraction %.2f out of range", frac)
+	}
+}
+
+func TestRedisCountsQueries(t *testing.T) {
+	eng := sim.New()
+	r := NewRedis(eng, DefaultRedisConfig(), 0)
+	drive(t, r, eng, 5000, 70*sim.Nanosecond)
+	if r.Queries().Count() == 0 {
+		t.Fatalf("no queries completed")
+	}
+}
+
+func TestRedisQueryLatencyScalesWithMemoryLatency(t *testing.T) {
+	qps := func(lat sim.Time) float64 {
+		eng := sim.New()
+		r := NewRedis(eng, DefaultRedisConfig(), 0)
+		end, _, _ := driveClock(t, r, 6000, lat)
+		return float64(r.Queries().Count()) / end.Seconds()
+	}
+	fast, slow := qps(70*sim.Nanosecond), qps(140*sim.Nanosecond)
+	if slow >= fast {
+		t.Fatalf("doubling memory latency did not reduce QPS: %.0f vs %.0f", fast, slow)
+	}
+	// Redis is partially compute-bound: QPS must not halve outright.
+	if slow < fast/2 {
+		t.Fatalf("QPS fully latency-bound (%.0f vs %.0f); the compute share is missing", fast, slow)
+	}
+}
+
+func TestRedisAddressesStayInKeyspace(t *testing.T) {
+	eng := sim.New()
+	cfg := DefaultRedisConfig()
+	cfg.BufBytes = 1 << 20
+	base := mem.Addr(4 << 30)
+	r := NewRedis(eng, cfg, base)
+	var pending []cpu.Access
+	now := sim.Time(0)
+	for i := 0; i < 2000; i++ {
+		acc, at, ok := r.Poll(now)
+		if !ok {
+			now += 70 * sim.Nanosecond
+			r.OnComplete(pending[0], now)
+			pending = pending[1:]
+			continue
+		}
+		if at > now {
+			now = at
+			continue
+		}
+		// Value lines may run up to ValueLines past a random line.
+		limit := base + mem.Addr(cfg.BufBytes) + mem.Addr(cfg.ValueLines*mem.LineSize)
+		if acc.Addr < base || acc.Addr >= limit {
+			t.Fatalf("access %#x outside keyspace [%#x, %#x)", acc.Addr, base, limit)
+		}
+		if acc.Kind == mem.Read {
+			pending = append(pending, acc)
+		}
+		if len(pending) > 12 {
+			now += 70 * sim.Nanosecond
+			r.OnComplete(pending[0], now)
+			pending = pending[1:]
+		}
+	}
+}
+
+func TestRedisInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("zero chain misses did not panic")
+		}
+	}()
+	cfg := DefaultRedisConfig()
+	cfg.ChainMisses = 0
+	NewRedis(sim.New(), cfg, 0)
+}
+
+func TestGAPBSGenerators(t *testing.T) {
+	pr := NewGAPBSPageRank(0, 1)
+	bc := NewGAPBSBC(0, 1)
+	prWrites, bcWrites := 0, 0
+	for i := 0; i < 2000; i++ {
+		if acc, at, ok := pr.Poll(0); ok && at == 0 && acc.Kind == mem.Write {
+			prWrites++
+		}
+		acc, at, ok := bc.Poll(sim.Time(i) * 20 * sim.Nanosecond)
+		if ok && at <= sim.Time(i)*20*sim.Nanosecond && acc.Kind == mem.Write {
+			bcWrites++
+		}
+	}
+	if prWrites != 0 {
+		t.Fatalf("PageRank issued %d writes", prWrites)
+	}
+	if bcWrites == 0 {
+		t.Fatalf("BC issued no writes")
+	}
+}

@@ -1,0 +1,204 @@
+// Package core implements the paper's primary contribution: the
+// domain-by-domain credit-based flow control abstraction (§4).
+//
+// The host network is decomposed into domains — sub-networks each running an
+// independent credit-based flow control loop. A sender consumes one credit
+// per request and gets it back when the domain's receiver acknowledges the
+// request; the domain's maximum throughput is therefore
+//
+//	T <= C * 64 / L
+//
+// where C is the credit count (in cachelines), 64 the cacheline size, and L
+// the (load-dependent) latency to traverse the domain's hops. Different
+// datapaths traverse different domains with different C and L, which is the
+// whole story of why the same contention hurts some traffic and not other:
+//
+//   - C2M-Read  (LFB -> DRAM):  C ~ 10-12, unloaded L ~ 70 ns, always
+//     credit-saturated, so any latency inflation is throughput degradation.
+//   - C2M-Write (LFB -> CHA):   C ~ 10-12 (shared), unloaded L ~ 10 ns,
+//     excluded from MC backpressure.
+//   - P2M-Write (IIO -> MC):    C ~ 92, unloaded L ~ 300 ns, holds spare
+//     credits at link rate, so it rides out moderate latency inflation.
+//   - P2M-Read  (IIO -> DRAM):  C > 164, even more spare credits.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// DomainKind identifies one of the four host-network domains.
+type DomainKind uint8
+
+// The four domains of §4.1.
+const (
+	C2MRead DomainKind = iota
+	C2MWrite
+	P2MRead
+	P2MWrite
+)
+
+// String names the domain as the paper does.
+func (k DomainKind) String() string {
+	switch k {
+	case C2MRead:
+		return "C2M-Read"
+	case C2MWrite:
+		return "C2M-Write"
+	case P2MRead:
+		return "P2M-Read"
+	default:
+		return "P2M-Write"
+	}
+}
+
+// Of maps a request classification to its domain.
+func Of(src mem.Source, kind mem.Kind) DomainKind {
+	switch {
+	case src == mem.C2M && kind == mem.Read:
+		return C2MRead
+	case src == mem.C2M && kind == mem.Write:
+		return C2MWrite
+	case src == mem.P2M && kind == mem.Read:
+		return P2MRead
+	default:
+		return P2MWrite
+	}
+}
+
+// Domain is the static characterization of one domain: its credit pool, hop
+// span, and unloaded latency (§4.2's reverse-engineered values).
+type Domain struct {
+	Kind            DomainKind
+	Credits         int
+	UnloadedLatency sim.Time
+	// Hops lists the nodes the domain spans; the last hop is where the
+	// credit is replenished.
+	Hops []string
+}
+
+// MaxThroughput reports the credit bound C*64/L in bytes per second for a
+// given average latency.
+func (d Domain) MaxThroughput(lat sim.Time) float64 {
+	if lat <= 0 {
+		return 0
+	}
+	return float64(d.Credits) * mem.LineSize / lat.Seconds()
+}
+
+// String renders the domain like "C2M-Read (LFB->CHA->MC->DRAM, C=12, L0=70ns)".
+func (d Domain) String() string {
+	path := ""
+	for i, h := range d.Hops {
+		if i > 0 {
+			path += "->"
+		}
+		path += h
+	}
+	return fmt.Sprintf("%s (%s, C=%d, L0=%v)", d.Kind, path, d.Credits, d.UnloadedLatency)
+}
+
+// CascadeLakeDomains returns the §4.2 characterization of the Cascade Lake
+// testbed's four domains.
+func CascadeLakeDomains() [4]Domain {
+	return [4]Domain{
+		{Kind: C2MRead, Credits: 12, UnloadedLatency: 70 * sim.Nanosecond,
+			Hops: []string{"LFB", "CHA", "MC", "DRAM"}},
+		{Kind: C2MWrite, Credits: 12, UnloadedLatency: 10 * sim.Nanosecond,
+			Hops: []string{"LFB", "CHA"}},
+		{Kind: P2MRead, Credits: 164, UnloadedLatency: 230 * sim.Nanosecond,
+			Hops: []string{"IIO", "CHA", "MC", "DRAM"}},
+		{Kind: P2MWrite, Credits: 92, UnloadedLatency: 300 * sim.Nanosecond,
+			Hops: []string{"IIO", "CHA", "MC"}},
+	}
+}
+
+// Measurement captures one domain's observed behaviour over a run window.
+type Measurement struct {
+	Kind            DomainKind
+	AvgLatencyNanos float64
+	AvgCreditsInUse float64
+	MaxCreditsInUse int
+	Throughput      float64 // bytes/s actually achieved
+}
+
+// CreditBound reports the throughput ceiling implied by the measurement's
+// latency and the domain's credit pool.
+func (m Measurement) CreditBound(d Domain) float64 {
+	if m.AvgLatencyNanos <= 0 {
+		return 0
+	}
+	return float64(d.Credits) * mem.LineSize / (m.AvgLatencyNanos * 1e-9)
+}
+
+// CreditSaturated reports whether the sender is using (nearly) all credits —
+// the precondition for latency inflation to become throughput degradation.
+func (m Measurement) CreditSaturated(d Domain) bool {
+	return float64(m.MaxCreditsInUse) >= 0.95*float64(d.Credits)
+}
+
+// SpareCredits reports how many credits remain unused on average.
+func (m Measurement) SpareCredits(d Domain) float64 {
+	return float64(d.Credits) - m.AvgCreditsInUse
+}
+
+// Regime classifies a colocation outcome per §2.2.
+type Regime uint8
+
+// Contention regimes.
+const (
+	// NoContention: neither side degrades appreciably.
+	NoContention Regime = iota
+	// Blue: C2M degrades, P2M does not — the paper's new phenomenon.
+	Blue
+	// Red: both degrade — the phenomenon of prior studies, plus the paper's
+	// finding that C2M degrades alongside P2M.
+	Red
+)
+
+// String names the regime.
+func (r Regime) String() string {
+	switch r {
+	case Blue:
+		return "blue"
+	case Red:
+		return "red"
+	default:
+		return "none"
+	}
+}
+
+// Classify maps (C2M, P2M) degradation factors (isolated/colocated
+// throughput, >= 1) to a regime using the paper's working thresholds: a side
+// "degrades" beyond ~10%.
+func Classify(c2mDegr, p2mDegr float64) Regime {
+	const threshold = 1.10
+	switch {
+	case p2mDegr >= threshold:
+		return Red
+	case c2mDegr >= threshold:
+		return Blue
+	default:
+		return NoContention
+	}
+}
+
+// Explain produces the paper's causal narrative for a pair of domain
+// measurements in a colocation, naming the bottleneck condition.
+func Explain(d Domain, m Measurement, unloaded Measurement) string {
+	inflation := 1.0
+	if unloaded.AvgLatencyNanos > 0 {
+		inflation = m.AvgLatencyNanos / unloaded.AvgLatencyNanos
+	}
+	if m.CreditSaturated(d) && inflation > 1.05 {
+		return fmt.Sprintf("%s: credits saturated (%d/%d) and latency inflated %.2fx -> throughput bound by C*64/L = %.2f GB/s",
+			d.Kind, m.MaxCreditsInUse, d.Credits, inflation, m.CreditBound(d)/1e9)
+	}
+	if inflation > 1.05 {
+		return fmt.Sprintf("%s: latency inflated %.2fx but %.0f spare credits absorb it -> throughput unaffected",
+			d.Kind, inflation, m.SpareCredits(d))
+	}
+	return fmt.Sprintf("%s: no significant latency inflation (%.2fx)", d.Kind, inflation)
+}

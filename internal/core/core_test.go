@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestDomainKindStrings(t *testing.T) {
+	want := map[DomainKind]string{
+		C2MRead: "C2M-Read", C2MWrite: "C2M-Write",
+		P2MRead: "P2M-Read", P2MWrite: "P2M-Write",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestOfMapping(t *testing.T) {
+	cases := []struct {
+		src  mem.Source
+		kind mem.Kind
+		want DomainKind
+	}{
+		{mem.C2M, mem.Read, C2MRead},
+		{mem.C2M, mem.Write, C2MWrite},
+		{mem.P2M, mem.Read, P2MRead},
+		{mem.P2M, mem.Write, P2MWrite},
+	}
+	for _, c := range cases {
+		if got := Of(c.src, c.kind); got != c.want {
+			t.Errorf("Of(%v, %v) = %v, want %v", c.src, c.kind, got, c.want)
+		}
+	}
+}
+
+func TestMaxThroughputFormula(t *testing.T) {
+	d := Domain{Kind: C2MRead, Credits: 12, UnloadedLatency: 70 * sim.Nanosecond}
+	// T = C*64/L: 12*64/70ns = 10.97 GB/s.
+	got := d.MaxThroughput(70 * sim.Nanosecond)
+	if math.Abs(got-10.97e9) > 0.05e9 {
+		t.Fatalf("MaxThroughput = %.3f GB/s, want ~10.97", got/1e9)
+	}
+	if d.MaxThroughput(0) != 0 {
+		t.Fatalf("zero latency must not divide")
+	}
+}
+
+// Property: throughput bound is monotonically decreasing in latency and
+// increasing in credits.
+func TestThroughputMonotonicityProperty(t *testing.T) {
+	f := func(credits uint8, lat1, lat2 uint16) bool {
+		c := int(credits%100) + 1
+		l1 := sim.Time(int(lat1)+1) * sim.Nanosecond
+		l2 := sim.Time(int(lat2)+1) * sim.Nanosecond
+		if l2 < l1 {
+			l1, l2 = l2, l1
+		}
+		d := Domain{Credits: c}
+		d2 := Domain{Credits: c + 1}
+		return d.MaxThroughput(l1) >= d.MaxThroughput(l2) &&
+			d2.MaxThroughput(l1) > d.MaxThroughput(l1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCascadeLakeDomains(t *testing.T) {
+	ds := CascadeLakeDomains()
+	if ds[0].Kind != C2MRead || ds[0].Credits != 12 || ds[0].UnloadedLatency != 70*sim.Nanosecond {
+		t.Fatalf("C2M-Read characterization wrong: %+v", ds[0])
+	}
+	if ds[3].Kind != P2MWrite || ds[3].Credits != 92 || ds[3].UnloadedLatency != 300*sim.Nanosecond {
+		t.Fatalf("P2M-Write characterization wrong: %+v", ds[3])
+	}
+	// The P2M-Write domain can sustain the 14 GB/s PCIe link with spare
+	// credits: 92*64/300ns ~ 19.6 GB/s > 14.
+	if bound := ds[3].MaxThroughput(ds[3].UnloadedLatency); bound < 14e9 {
+		t.Fatalf("P2M-Write credit bound %.2f GB/s below link rate", bound/1e9)
+	}
+	// The C2M-Write domain ends at the CHA: it must not list MC or DRAM.
+	for _, h := range ds[1].Hops {
+		if h == "MC" || h == "DRAM" {
+			t.Fatalf("C2M-Write domain must exclude the MC: %v", ds[1].Hops)
+		}
+	}
+	if s := ds[0].String(); !strings.Contains(s, "LFB->CHA->MC->DRAM") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestMeasurementCreditLogic(t *testing.T) {
+	d := Domain{Kind: P2MWrite, Credits: 92, UnloadedLatency: 300 * sim.Nanosecond}
+	spare := Measurement{Kind: P2MWrite, AvgLatencyNanos: 320, AvgCreditsInUse: 68, MaxCreditsInUse: 75}
+	if spare.CreditSaturated(d) {
+		t.Fatalf("75/92 should not be saturated")
+	}
+	if got := spare.SpareCredits(d); math.Abs(got-24) > 1e-9 {
+		t.Fatalf("SpareCredits = %v", got)
+	}
+	full := Measurement{Kind: P2MWrite, AvgLatencyNanos: 700, AvgCreditsInUse: 91, MaxCreditsInUse: 92}
+	if !full.CreditSaturated(d) {
+		t.Fatalf("92/92 should be saturated")
+	}
+	// Credit bound at 700ns: 92*64/700ns = 8.4 GB/s.
+	if got := full.CreditBound(d); math.Abs(got-8.41e9) > 0.05e9 {
+		t.Fatalf("CreditBound = %.2f GB/s", got/1e9)
+	}
+}
+
+func TestClassifyRegimes(t *testing.T) {
+	cases := []struct {
+		c2m, p2m float64
+		want     Regime
+	}{
+		{1.0, 1.0, NoContention},
+		{1.05, 1.0, NoContention},
+		{1.3, 1.02, Blue},
+		{1.6, 1.0, Blue},
+		{1.3, 1.5, Red},
+		{1.0, 1.4, Red},
+	}
+	for _, c := range cases {
+		if got := Classify(c.c2m, c.p2m); got != c.want {
+			t.Errorf("Classify(%.2f, %.2f) = %v, want %v", c.c2m, c.p2m, got, c.want)
+		}
+	}
+	if Blue.String() != "blue" || Red.String() != "red" || NoContention.String() != "none" {
+		t.Fatalf("regime strings wrong")
+	}
+}
+
+func TestExplainNarratives(t *testing.T) {
+	ds := CascadeLakeDomains()
+	unloadedRead := Measurement{AvgLatencyNanos: 70, MaxCreditsInUse: 12}
+	inflatedRead := Measurement{AvgLatencyNanos: 91, MaxCreditsInUse: 12, AvgCreditsInUse: 12}
+	s := Explain(ds[0], inflatedRead, unloadedRead)
+	if !strings.Contains(s, "credits saturated") {
+		t.Fatalf("blue-regime C2M explanation wrong: %s", s)
+	}
+	unloadedW := Measurement{AvgLatencyNanos: 300, MaxCreditsInUse: 70}
+	inflatedW := Measurement{AvgLatencyNanos: 330, MaxCreditsInUse: 72, AvgCreditsInUse: 67}
+	s = Explain(ds[3], inflatedW, unloadedW)
+	if !strings.Contains(s, "spare credits absorb") {
+		t.Fatalf("P2M spare-credit explanation wrong: %s", s)
+	}
+	s = Explain(ds[0], unloadedRead, unloadedRead)
+	if !strings.Contains(s, "no significant") {
+		t.Fatalf("no-contention explanation wrong: %s", s)
+	}
+}

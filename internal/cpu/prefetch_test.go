@@ -1,0 +1,157 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func seqAccesses(n int) *fixedGen {
+	g := &fixedGen{}
+	for i := 0; i < n; i++ {
+		g.accs = append(g.accs, Access{Addr: mem.Addr(i * mem.LineSize), Kind: mem.Read})
+	}
+	return g
+}
+
+func TestPrefetcherDetectsStream(t *testing.T) {
+	p := DefaultPrefetcher()
+	var issued []mem.Addr
+	for i := 0; i < 10; i++ {
+		issued = append(issued, p.observe(mem.Addr(i*mem.LineSize))...)
+	}
+	if len(issued) == 0 {
+		t.Fatalf("sequential stream never triggered prefetches")
+	}
+	// Prefetches run ahead of the demand stream.
+	for _, a := range issued {
+		if a <= 3*mem.LineSize {
+			t.Fatalf("prefetch %#x not ahead of the trigger point", a)
+		}
+	}
+}
+
+func TestPrefetcherIgnoresRandom(t *testing.T) {
+	p := DefaultPrefetcher()
+	addrs := []mem.Addr{0x1000, 0x9040, 0x2480, 0x77c0, 0x31c0, 0x5a00, 0x1280, 0x8fc0}
+	for _, a := range addrs {
+		if got := p.observe(a); len(got) != 0 {
+			t.Fatalf("random stream triggered prefetch of %v", got)
+		}
+	}
+}
+
+func TestPrefetcherSlotLimit(t *testing.T) {
+	p := DefaultPrefetcher()
+	p.Slots = 2
+	inflight := 0
+	for i := 0; i < 20; i++ {
+		inflight += len(p.observe(mem.Addr(i * mem.LineSize)))
+	}
+	if inflight > 2 {
+		t.Fatalf("issued %d prefetches with 2 slots and no completions", inflight)
+	}
+}
+
+func TestPrefetcherLifecycle(t *testing.T) {
+	p := DefaultPrefetcher()
+	var pf []mem.Addr
+	for i := 0; i < 6; i++ {
+		pf = append(pf, p.observe(mem.Addr(i*mem.LineSize))...)
+	}
+	if len(pf) == 0 {
+		t.Fatalf("no prefetches")
+	}
+	a := pf[0]
+	if got := p.lookup(a); got != pfInflight {
+		t.Fatalf("lookup(inflight) = %v", got)
+	}
+	p.complete(a)
+	if got := p.lookup(a); got != pfReady {
+		t.Fatalf("lookup(ready) = %v", got)
+	}
+	// Ready entries are consumed by lookup.
+	if got := p.lookup(a); got != pfMiss {
+		t.Fatalf("ready entry not consumed")
+	}
+}
+
+func TestDisabledPrefetcherIsMiss(t *testing.T) {
+	var p *Prefetcher
+	if p.enabled() {
+		t.Fatalf("nil prefetcher enabled")
+	}
+	if got := p.lookup(0); got != pfMiss {
+		t.Fatalf("nil prefetcher lookup = %v", got)
+	}
+}
+
+// §2.2's claim: prefetching improves sequential throughput. The prefetcher
+// raises effective memory-level parallelism beyond the LFB bound.
+func TestPrefetchImprovesSequentialThroughput(t *testing.T) {
+	run := func(pf *Prefetcher) (lines uint64, dur sim.Time) {
+		eng, ch := testRig()
+		cfg := DefaultConfig()
+		cfg.Prefetch = pf
+		gen := seqAccesses(4000)
+		c := New(eng, cfg, 0, ch, gen)
+		c.Start(0)
+		eng.Run()
+		return c.Stats().LinesRead.Count(), eng.Now()
+	}
+	offLines, offDur := run(nil)
+	onLines, onDur := run(DefaultPrefetcher())
+	if offLines != 4000 || onLines != 4000 {
+		t.Fatalf("incomplete runs: off=%d on=%d", offLines, onLines)
+	}
+	speedup := float64(offDur) / float64(onDur)
+	if speedup < 1.15 {
+		t.Fatalf("prefetch speedup %.2fx, want >= 1.15x on a sequential stream", speedup)
+	}
+}
+
+// §2.1's claim: prefetching has little effect on random-access workloads.
+func TestPrefetchNeutralForRandomAccess(t *testing.T) {
+	run := func(pf *Prefetcher) sim.Time {
+		eng, ch := testRig()
+		cfg := DefaultConfig()
+		cfg.Prefetch = pf
+		gen := &fixedGen{}
+		// A fixed pseudo-random pattern (same for both runs).
+		x := uint64(12345)
+		for i := 0; i < 2000; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			gen.accs = append(gen.accs, Access{
+				Addr: mem.Addr((x>>33)%(1<<20)) * mem.LineSize, Kind: mem.Read})
+		}
+		c := New(eng, cfg, 0, ch, gen)
+		c.Start(0)
+		eng.Run()
+		return eng.Now()
+	}
+	off, on := run(nil), run(DefaultPrefetcher())
+	diff := float64(on-off) / float64(off)
+	if diff > 0.05 || diff < -0.05 {
+		t.Fatalf("prefetch changed random-access runtime by %.1f%%, want < 5%%", diff*100)
+	}
+}
+
+// Demand hits on in-flight prefetches must complete exactly once.
+func TestPrefetchInflightPiggyback(t *testing.T) {
+	eng, ch := testRig()
+	cfg := DefaultConfig()
+	pf := DefaultPrefetcher()
+	pf.Trigger = 1 // arm aggressively so demands catch in-flight prefetches
+	cfg.Prefetch = pf
+	gen := seqAccesses(500)
+	c := New(eng, cfg, 0, ch, gen)
+	c.Start(0)
+	eng.Run()
+	if got := c.Stats().LinesRead.Count(); got != 500 {
+		t.Fatalf("completed %d of 500 with piggybacking", got)
+	}
+	if c.Stats().LFBOcc.Level() != 0 {
+		t.Fatalf("LFB leak: %d entries still held", c.Stats().LFBOcc.Level())
+	}
+}

@@ -1,0 +1,189 @@
+// Package cxl models a CXL.mem memory expander — the first of the "new
+// interconnects" the paper's §7 names as the future of the host network.
+//
+// An expander is a second memory home behind a serial link: host requests
+// cross the link (per-direction cacheline serialization plus propagation),
+// are serviced by the device's own memory controller and DRAM, and read
+// data crosses back. Two properties follow, both of which the tests pin
+// down:
+//
+//   - Latency: an unloaded CXL read costs the local path plus two link
+//     crossings (~70 -> ~250 ns), so an LFB-bound core gets C*64/L of it.
+//   - Isolation: CXL-homed traffic does not touch the host's memory
+//     controller, so it neither suffers from nor contributes to DRAM-side
+//     contention — offloading to CXL trades latency for isolation.
+package cxl
+
+import (
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Config models the expander and its link.
+type Config struct {
+	// LinkLatency is the one-way propagation (protocol + retimers).
+	LinkLatency sim.Time
+	// LinePeriod is the per-direction serialization per cacheline
+	// (~2 ns at 32 GB/s per direction on a x8 CXL 2.0 port).
+	LinePeriod sim.Time
+	// Mapper and MC describe the expander's internal memory.
+	Mapper mem.MapperConfig
+	MC     dram.Config
+	// DeviceProc is the expander-side processing per request.
+	DeviceProc sim.Time
+}
+
+// DefaultConfig returns a single-channel DDR-backed expander behind a
+// ~32 GB/s link with ~85 ns one-way latency: unloaded reads land at the
+// ~250 ns figure typical of first-generation CXL memory.
+func DefaultConfig() Config {
+	mc := dram.DefaultConfig()
+	return Config{
+		LinkLatency: 85 * sim.Nanosecond,
+		LinePeriod:  2 * sim.Nanosecond,
+		Mapper:      mem.MapperConfig{Channels: 1, Banks: 32, RowBytes: 8192, XORRowIntoBank: true},
+		MC:          mc,
+		DeviceProc:  10 * sim.Nanosecond,
+	}
+}
+
+// Stats exposes the expander probes.
+type Stats struct {
+	// ReadLat measures request arrival at the host port to data delivery
+	// back at the host (the CXL round trip minus the requester's own hops).
+	ReadLat *telemetry.Latency
+	// Reads/Writes count serviced lines.
+	Reads, Writes *telemetry.Counter
+}
+
+// Reset starts a new measurement window.
+func (s *Stats) Reset() {
+	s.ReadLat.Reset()
+	s.Reads.Reset()
+	s.Writes.Reset()
+}
+
+// Expander is a CXL.mem device. It implements mem.Submitter, so it can stand
+// wherever a CHA can: behind a numa.Router-style mux keyed by address.
+type Expander struct {
+	eng *sim.Engine
+	cfg Config
+	mc  *dram.Controller
+
+	// Link serialization, per direction (0 = host->device).
+	freeAt [2]sim.Time
+
+	// writes blocked on a full WPQ await retry.
+	wBacklog []*mem.Request
+
+	stats *Stats
+}
+
+// New builds an expander.
+func New(eng *sim.Engine, cfg Config) *Expander {
+	e := &Expander{
+		eng: eng,
+		cfg: cfg,
+		stats: &Stats{
+			ReadLat: telemetry.NewLatency(eng),
+			Reads:   telemetry.NewCounter(eng),
+			Writes:  telemetry.NewCounter(eng),
+		},
+	}
+	e.mc = dram.New(eng, cfg.MC, mem.MustMapper(cfg.Mapper), e)
+	return e
+}
+
+// Stats returns the expander probes.
+func (e *Expander) Stats() *Stats { return e.stats }
+
+// serialize reserves a line slot on one link direction.
+func (e *Expander) serialize(dir int) sim.Time {
+	now := e.eng.Now()
+	start := e.freeAt[dir]
+	if start < now {
+		start = now
+	}
+	e.freeAt[dir] = start + e.cfg.LinePeriod
+	return e.freeAt[dir] - now
+}
+
+// Submit implements mem.Submitter: the host-side CXL port.
+func (e *Expander) Submit(r *mem.Request) {
+	// Outbound crossing: writes carry data (serialize), reads are small.
+	var outSer sim.Time
+	if r.Kind == mem.Write {
+		outSer = e.serialize(0)
+	}
+	e.stats.ReadLatEnterIfRead(r)
+	e.eng.After(outSer+e.cfg.LinkLatency+e.cfg.DeviceProc, func() { e.arrive(r) })
+}
+
+// ReadLatEnterIfRead keeps probe bookkeeping in one place.
+func (s *Stats) ReadLatEnterIfRead(r *mem.Request) {
+	if r.Kind == mem.Read {
+		s.ReadLat.Enter()
+	}
+}
+
+// arrive enqueues a request at the device's memory controller.
+func (e *Expander) arrive(r *mem.Request) {
+	if r.Kind == mem.Write {
+		if !e.mc.TryEnqueue(r) {
+			e.wBacklog = append(e.wBacklog, r)
+			return
+		}
+		e.writeAdmitted(r)
+		return
+	}
+	if !e.mc.TryEnqueue(r) {
+		// RPQ full: retry on the next completion.
+		e.wBacklog = append(e.wBacklog, r)
+	}
+}
+
+// writeAdmitted completes a write toward the host: CXL.mem writes are
+// posted once the device accepts them, with the ack crossing back.
+func (e *Expander) writeAdmitted(r *mem.Request) {
+	e.stats.Writes.Inc()
+	e.eng.After(e.cfg.LinkLatency, func() {
+		r.TDone = e.eng.Now()
+		if r.Done != nil {
+			r.Done(r)
+		}
+	})
+}
+
+// drain retries backlogged requests.
+func (e *Expander) drain() {
+	kept := e.wBacklog[:0]
+	for _, r := range e.wBacklog {
+		if e.mc.TryEnqueue(r) {
+			if r.Kind == mem.Write {
+				e.writeAdmitted(r)
+			}
+			continue
+		}
+		kept = append(kept, r)
+	}
+	e.wBacklog = kept
+}
+
+// ReadComplete implements dram.Client: data crosses back to the host.
+func (e *Expander) ReadComplete(r *mem.Request) {
+	e.drain()
+	backSer := e.serialize(1)
+	e.eng.After(backSer+e.cfg.LinkLatency, func() {
+		e.stats.Reads.Inc()
+		e.stats.ReadLat.Exit()
+		r.TDone = e.eng.Now()
+		if r.Done != nil {
+			r.Done(r)
+		}
+	})
+}
+
+// WPQSpaceFreed implements dram.Client.
+func (e *Expander) WPQSpaceFreed(int) { e.drain() }

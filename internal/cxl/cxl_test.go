@@ -1,0 +1,86 @@
+package cxl
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestUnloadedReadLatency(t *testing.T) {
+	eng := sim.New()
+	e := New(eng, DefaultConfig())
+	var done sim.Time = -1
+	r := &mem.Request{Addr: 0, Kind: mem.Read, TAlloc: 0}
+	r.Done = func(*mem.Request) { done = eng.Now() }
+	eng.At(0, func() { e.Submit(r) })
+	eng.Run()
+	// link 85 + proc 10 + MC cold (~33 with default timing) + serialize 2 +
+	// link 85 ~= 215 ns.
+	if done < 190*sim.Nanosecond || done > 240*sim.Nanosecond {
+		t.Fatalf("unloaded CXL read at %v, want ~215ns", done)
+	}
+	if e.Stats().Reads.Count() != 1 {
+		t.Fatalf("read not counted")
+	}
+}
+
+func TestWritePostedAtDevice(t *testing.T) {
+	eng := sim.New()
+	e := New(eng, DefaultConfig())
+	var done sim.Time = -1
+	r := &mem.Request{Addr: 0, Kind: mem.Write, TAlloc: 0}
+	r.Done = func(*mem.Request) { done = eng.Now() }
+	eng.At(0, func() { e.Submit(r) })
+	eng.Run()
+	// serialize 2 + link 85 + proc 10 + ack link 85 = 182 ns: completion does
+	// not wait for DRAM.
+	if done < 170*sim.Nanosecond || done > 195*sim.Nanosecond {
+		t.Fatalf("posted write acked at %v, want ~182ns", done)
+	}
+	if e.Stats().Writes.Count() != 1 {
+		t.Fatalf("write not counted")
+	}
+}
+
+func TestLinkSerializesReads(t *testing.T) {
+	eng := sim.New()
+	e := New(eng, DefaultConfig())
+	var doneTimes []sim.Time
+	eng.At(0, func() {
+		for i := 0; i < 4; i++ {
+			r := &mem.Request{Addr: mem.Addr(i * mem.LineSize), Kind: mem.Read}
+			r.Done = func(*mem.Request) { doneTimes = append(doneTimes, eng.Now()) }
+			e.Submit(r)
+		}
+	})
+	eng.Run()
+	if len(doneTimes) != 4 {
+		t.Fatalf("completed %d of 4", len(doneTimes))
+	}
+	// Return data serializes at one line period on the device->host link.
+	for i := 1; i < len(doneTimes); i++ {
+		if d := doneTimes[i] - doneTimes[i-1]; d < 2*sim.Nanosecond {
+			t.Fatalf("return gap %v below one line period", d)
+		}
+	}
+}
+
+func TestBackpressureRetries(t *testing.T) {
+	eng := sim.New()
+	cfg := DefaultConfig()
+	cfg.MC.RPQCap = 2
+	e := New(eng, cfg)
+	done := 0
+	eng.At(0, func() {
+		for i := 0; i < 30; i++ {
+			r := &mem.Request{Addr: mem.Addr(i * mem.LineSize), Kind: mem.Read}
+			r.Done = func(*mem.Request) { done++ }
+			e.Submit(r)
+		}
+	})
+	eng.Run()
+	if done != 30 {
+		t.Fatalf("completed %d of 30 under a tiny RPQ", done)
+	}
+}

@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/periph"
+	"repro/internal/sim"
+)
+
+const appWin = 60 * sim.Microsecond
+
+// Fig 1 shape: on Ice Lake with DDIO on, Redis and GAPBS degrade while FIO
+// is unaffected and memory bandwidth is far from saturated.
+func TestFig1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res := RunFig1(appWin)
+	for _, p := range append(append([]AppPoint{}, res.Redis...), res.GAPBS...) {
+		t.Logf("%v | appIso=%.2e appCo=%.2e p2m=%.1fGB/s memC2M=%.1f memP2M=%.1f",
+			p, p.AppIso, p.AppCo, p.P2MCo/1e9, p.Co.MemC2M/1e9, p.Co.MemP2M/1e9)
+		if d := p.AppDegradation(); d < 1.03 {
+			t.Errorf("%v: app degradation %.2fx, want visible degradation", p, d)
+		}
+		if d := p.P2MDegradation(); d > 1.1 {
+			t.Errorf("%v: P2M degraded %.2fx; Fig 1 leaves FIO intact", p, d)
+		}
+	}
+	// Memory bandwidth far from saturation at low core counts (Fig 1c/1d).
+	low := res.Redis[0]
+	util := (low.Co.MemC2M + low.Co.MemP2M) / 102.4e9
+	if util > 0.75 {
+		t.Errorf("Fig1 low-core utilization %.0f%%, want below saturation", util*100)
+	}
+	// GAPBS (more memory-bound) degrades more than Redis at matched cores.
+	if res.GAPBS[1].AppDegradation() < res.Redis[1].AppDegradation() {
+		t.Errorf("GAPBS (%.2fx) should degrade at least as much as Redis (%.2fx)",
+			res.GAPBS[1].AppDegradation(), res.Redis[1].AppDegradation())
+	}
+}
+
+// Fig 2 shape: DDIO on worsens C2M degradation for the P2M-Write workload.
+func TestFig2DDIOWorsensDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res := RunFig2(appWin)
+	for i := range res.GAPBSOn {
+		on, off := res.GAPBSOn[i], res.GAPBSOff[i]
+		t.Logf("GAPBS cores=%d: ddio-on %.2fx ddio-off %.2fx", on.Cores, on.AppDegradation(), off.AppDegradation())
+		if on.AppDegradation() < off.AppDegradation()-0.03 {
+			t.Errorf("cores=%d: DDIO on (%.2fx) should not be better than off (%.2fx)",
+				on.Cores, on.AppDegradation(), off.AppDegradation())
+		}
+	}
+	// At least one point must show a clear DDIO penalty.
+	worse := false
+	for i := range res.GAPBSOn {
+		if res.GAPBSOn[i].AppDegradation() > res.GAPBSOff[i].AppDegradation()+0.05 {
+			worse = true
+		}
+	}
+	if !worse {
+		t.Errorf("DDIO on never measurably worse; Fig 2's effect missing")
+	}
+}
+
+// Appendix B: P2M-Read colocations show identical degradation with DDIO
+// on/off (reads do not allocate, so no eviction pressure).
+func TestFig16DDIONeutralForP2MReads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res := RunFig16(appWin)
+	for i := range res.GAPBSOn {
+		on, off := res.GAPBSOn[i], res.GAPBSOff[i]
+		t.Logf("GAPBS+P2MRead cores=%d: on=%.2fx off=%.2fx", on.Cores, on.AppDegradation(), off.AppDegradation())
+		diff := on.AppDegradation() - off.AppDegradation()
+		if diff > 0.08 || diff < -0.08 {
+			t.Errorf("cores=%d: DDIO should be neutral for P2M reads (on %.2fx vs off %.2fx)",
+				on.Cores, on.AppDegradation(), off.AppDegradation())
+		}
+	}
+}
+
+// Redis-Write is more memory-intensive than Redis-Read: for a fixed P2M
+// workload it degrades at least as much (Appendix B trend).
+func TestRedisWriteDegradesMore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	opt := Defaults()
+	opt.Window = appWin
+	rd := RunAppColocation(RedisRead, periph.DMAWrite, []int{4}, opt)
+	wr := RunAppColocation(RedisWrite, periph.DMAWrite, []int{4}, opt)
+	t.Logf("read %.3fx write %.3fx", rd[0].AppDegradation(), wr[0].AppDegradation())
+	if wr[0].AppDegradation() < rd[0].AppDegradation()-0.02 {
+		t.Errorf("Redis-Write (%.2fx) should degrade at least as much as Redis-Read (%.2fx)",
+			wr[0].AppDegradation(), rd[0].AppDegradation())
+	}
+}
+
+func TestAppStrings(t *testing.T) {
+	if RedisRead.String() != "Redis-Read" || GAPBSBC.String() != "GAPBS-BC" {
+		t.Fatalf("app names wrong")
+	}
+}

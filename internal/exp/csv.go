@@ -1,0 +1,37 @@
+package exp
+
+import (
+	"encoding/csv"
+	"io"
+)
+
+// WriteCSV emits a Table as CSV (header row first), so experiment output
+// feeds straight into plotting pipelines.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// QuadrantCSV renders one quadrant sweep as a CSV table.
+func QuadrantCSV(pts []QuadrantPoint) *Table {
+	t := &Table{
+		Title: "quadrant",
+		Header: []string{"quadrant", "cores", "c2m_degr", "p2m_degr", "c2m_gbps", "p2m_gbps",
+			"mem_c2m_gbps", "mem_p2m_gbps", "c2m_lat_iso_ns", "c2m_lat_co_ns",
+			"p2m_wlat_co_ns", "wpq_full_frac", "wbacklog", "cha_admit_ns", "regime"},
+	}
+	for _, p := range pts {
+		t.Add(int(p.Quadrant), p.Cores, p.C2MDegradation(), p.P2MDegradation(),
+			p.Co.C2MBW/1e9, p.Co.P2MBW/1e9, p.Co.MemC2M/1e9, p.Co.MemP2M/1e9,
+			p.C2MIso.C2MLat, p.Co.C2MLat, p.Co.P2MWriteLat,
+			p.Co.WPQFullFrac, p.Co.WBacklog, p.Co.CHAAdmitLat, p.Regime().String())
+	}
+	return t
+}

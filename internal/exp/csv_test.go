@@ -1,0 +1,41 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	tab := &Table{Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}, {"x,y", "3"}}}
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.HasPrefix(got, "a,b\n1,2\n") {
+		t.Fatalf("csv = %q", got)
+	}
+	if !strings.Contains(got, `"x,y",3`) {
+		t.Fatalf("comma not quoted: %q", got)
+	}
+}
+
+func TestQuadrantCSVRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	opt := Defaults()
+	pts := RunQuadrant(Q1, []int{1}, opt)
+	tab := QuadrantCSV(pts)
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want header + 1 row", len(lines))
+	}
+	if !strings.Contains(lines[1], "blue") {
+		t.Fatalf("row missing regime: %q", lines[1])
+	}
+}

@@ -1,0 +1,185 @@
+package exp
+
+import (
+	"testing"
+)
+
+// §4.2 / Fig 6: evidence for the domain characterization.
+func TestFig6DomainEvidence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	ev := RunFig6(Defaults())
+	for _, p := range ev.Points {
+		t.Logf("cores=%d: LFB=%.0f chaDram=%.0f | rwLFB=%.0f chaMCwr=%.0f wLat=%.0f | probeIIO=%.0f probeChaMC=%.0f",
+			p.Cores, p.ReadLFBLat, p.ReadCHADram, p.RWLFBLat, p.RWCHAMCWr, p.RWWriteLat,
+			p.ProbeIIOLat, p.ProbeCHAMCWr)
+	}
+
+	// (a) The LFB latency strictly contains the CHA->DRAM read latency, and
+	// both inflate together from 1 to 6 cores.
+	for _, p := range ev.Points {
+		if p.ReadLFBLat <= p.ReadCHADram {
+			t.Errorf("cores=%d: LFB latency (%.0f) must exceed CHA->DRAM (%.0f): the C2M-Read domain includes DRAM",
+				p.Cores, p.ReadLFBLat, p.ReadCHADram)
+		}
+	}
+	first, last := ev.Points[0], ev.Points[len(ev.Points)-1]
+	lfbInfl := last.ReadLFBLat - first.ReadLFBLat
+	chaInfl := last.ReadCHADram - first.ReadCHADram
+	if lfbInfl <= 0 || chaInfl <= 0 {
+		t.Errorf("latencies should inflate with load: lfb %+.0f cha %+.0f", lfbInfl, chaInfl)
+	}
+	if ratio := lfbInfl / chaInfl; ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("LFB inflation (%.0f) should track CHA->DRAM inflation (%.0f)", lfbInfl, chaInfl)
+	}
+
+	// (b) The C2M-Write domain excludes the MC: under load the CHA->MC write
+	// latency may exceed the LFB write latency, which stays ~constant.
+	if last.RWWriteLat > 3*first.RWWriteLat {
+		t.Errorf("C2M-Write LFB latency inflated %0.f->%.0f; the domain ends at the CHA",
+			first.RWWriteLat, last.RWWriteLat)
+	}
+
+	// (c) The P2M-Write domain includes the MC: IIO latency contains the
+	// CHA->MC write latency and inflates with it.
+	for _, p := range ev.Points {
+		if p.ProbeIIOLat <= p.ProbeCHAMCWr {
+			t.Errorf("cores=%d: IIO latency (%.0f) must exceed CHA->MC write (%.0f)",
+				p.Cores, p.ProbeIIOLat, p.ProbeCHAMCWr)
+		}
+	}
+
+	// Credit characterization (§4.2): LFB 10-12, IIO write ~92, IIO read
+	// lower bound well above the write credits.
+	if ev.LFBCredits != 12 {
+		t.Errorf("LFB credits = %d, want 12", ev.LFBCredits)
+	}
+	if ev.IIOWriteCredits < 85 || ev.IIOWriteCredits > 92 {
+		t.Errorf("IIO write credits = %d, want ~92", ev.IIOWriteCredits)
+	}
+	// The P2M-Read measurement is a lower bound (the paper could not read
+	// the IIO read buffer either); it must be substantial, and the
+	// configured pool is larger than the write pool.
+	if ev.IIOReadCredits < 40 {
+		t.Errorf("P2M-Read in-flight lower bound %d implausibly small", ev.IIOReadCredits)
+	}
+	if cfg := Defaults().Preset().IIO; cfg.ReadCredits <= cfg.WriteCredits {
+		t.Errorf("configured P2M-Read credits (%d) should exceed P2M-Write credits (%d)",
+			cfg.ReadCredits, cfg.WriteCredits)
+	}
+
+	// Unloaded latencies (§4.2): ~70ns, ~10ns, ~300ns.
+	if ev.UnloadedC2MRead < 60 || ev.UnloadedC2MRead > 80 {
+		t.Errorf("unloaded C2M-Read = %.0f, want ~70", ev.UnloadedC2MRead)
+	}
+	if ev.UnloadedC2MWrite < 5 || ev.UnloadedC2MWrite > 15 {
+		t.Errorf("unloaded C2M-Write = %.0f, want ~10", ev.UnloadedC2MWrite)
+	}
+	if ev.UnloadedP2MWrite < 260 || ev.UnloadedP2MWrite > 340 {
+		t.Errorf("unloaded P2M-Write = %.0f, want ~300", ev.UnloadedP2MWrite)
+	}
+}
+
+// Fig 7 root causes for quadrant 1: latency inflation from MC queueing, row
+// miss increase, bank imbalance, un-filled WPQ, spare IIO credits.
+func TestFig7Quadrant1RootCauses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	pts := RunQuadrant(Q1, []int{1, 3, 6}, Defaults())
+	for _, p := range pts {
+		t.Logf("cores=%d: lfb %.0f->%.0f rpq %.1f->%.1f rowmiss %.3f->%.3f wpqFill=%.2f iio=%.0f dev[p50=%.2f >=1.5x:%.2f >=2x:%.2f]",
+			p.Cores, p.C2MIso.C2MLat, p.Co.C2MLat, p.C2MIso.RPQOcc, p.Co.RPQOcc,
+			p.C2MIso.RowMissC2MRead, p.Co.RowMissC2MRead, p.Co.WPQFullFrac, p.Co.IIOWriteOcc,
+			p.Co.BankDevMedian, p.Co.BankDevFracGE15, p.Co.BankDevFracGE2)
+	}
+	for _, p := range pts {
+		// (a) C2M-Read domain latency inflates.
+		if p.Co.C2MLat <= p.C2MIso.C2MLat*1.1 {
+			t.Errorf("cores=%d: domain latency %.0f -> %.0f; want >= 1.1x inflation",
+				p.Cores, p.C2MIso.C2MLat, p.Co.C2MLat)
+		}
+		// (b) RPQ occupancy grows (queueing at the MC).
+		if p.Co.RPQOcc <= p.C2MIso.RPQOcc {
+			t.Errorf("cores=%d: RPQ occupancy did not grow (%.2f -> %.2f)",
+				p.Cores, p.C2MIso.RPQOcc, p.Co.RPQOcc)
+		}
+		// (c) Row miss ratio for C2M reads increases when P2M is colocated.
+		if p.Co.RowMissC2MRead <= p.C2MIso.RowMissC2MRead {
+			t.Errorf("cores=%d: row miss ratio did not increase (%.3f -> %.3f)",
+				p.Cores, p.C2MIso.RowMissC2MRead, p.Co.RowMissC2MRead)
+		}
+		// (f) WPQ rarely fills in the blue regime.
+		if p.Co.WPQFullFrac > 0.30 {
+			t.Errorf("cores=%d: WPQ full %.0f%% of the time; blue regime expects < 30%%",
+				p.Cores, p.Co.WPQFullFrac*100)
+		}
+		// (g) IIO write credits stay below the 92 limit (spare credits).
+		if p.Co.IIOWriteOcc > 85 {
+			t.Errorf("cores=%d: IIO occupancy %.0f leaves no spare credits", p.Cores, p.Co.IIOWriteOcc)
+		}
+	}
+	// (d) Bank load imbalance: deviation >= 1.5x in a sizable fraction of
+	// windows (the paper reports 50-70%; shapes vary with the hash).
+	if p := pts[0]; p.Co.BankDevFracGE15 < 0.2 {
+		t.Errorf("bank deviation >= 1.5x in only %.0f%% of samples", p.Co.BankDevFracGE15*100)
+	}
+}
+
+// Fig 8 root causes for quadrant 3 (red regime).
+func TestFig8Quadrant3RootCauses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	pts := RunQuadrant(Q3, []int{2, 4, 6}, Defaults())
+	for _, p := range pts {
+		t.Logf("cores=%d: wpqFill=%.2f wback=%.1f p2mWlat %.0f->%.0f admit=%.1f iio=%.0f",
+			p.Cores, p.Co.WPQFullFrac, p.Co.WBacklog, p.P2MIso.P2MWriteLat, p.Co.P2MWriteLat,
+			p.Co.CHAAdmitLat, p.Co.IIOWriteOcc)
+	}
+	low, high := pts[0], pts[len(pts)-1]
+	// (e) WPQ fills persistently once saturated.
+	if low.Co.WPQFullFrac > 0.3 {
+		t.Errorf("2 cores: WPQ full %.0f%%; saturation should not have started", low.Co.WPQFullFrac*100)
+	}
+	if high.Co.WPQFullFrac < 0.9 {
+		t.Errorf("6 cores: WPQ full only %.0f%%; want persistent", high.Co.WPQFullFrac*100)
+	}
+	// (d) P2M-Write domain latency inflates substantially (backpressure from
+	// the MC spans the P2M-Write domain).
+	if high.Co.P2MWriteLat < 1.4*high.P2MIso.P2MWriteLat {
+		t.Errorf("6 cores: P2M write latency %.0f -> %.0f; want >= 1.4x", high.P2MIso.P2MWriteLat, high.Co.P2MWriteLat)
+	}
+	// (f) IIO write credits exhaust.
+	if high.Co.IIOWriteOccMax < 90 {
+		t.Errorf("6 cores: IIO write occupancy max %d; credits should exhaust", high.Co.IIOWriteOccMax)
+	}
+	// Phase 2: CHA admission delay appears at high load only.
+	if high.Co.CHAAdmitLat < 5 {
+		t.Errorf("6 cores: CHA admission delay %.1f ns; phase 2 missing", high.Co.CHAAdmitLat)
+	}
+	if low.Co.CHAAdmitLat > 5 {
+		t.Errorf("2 cores: spurious CHA admission delay %.1f ns", low.Co.CHAAdmitLat)
+	}
+}
+
+// Figs 13/14: quadrants 2 and 4 — P2M reads tolerate the same MC queueing
+// through spare credits (in-flight P2M reads stay below the credit limit).
+func TestFig13And14P2MReadSpareCredits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	for _, q := range []Quadrant{Q2, Q4} {
+		pts := RunQuadrant(q, []int{6}, Defaults())
+		p := pts[0]
+		t.Logf("%v: p2mReadsInflight avg=%.1f max=%d", q, p.Co.P2MReadsInflight, p.Co.P2MReadsInflightMax)
+		if p.Co.P2MReadsInflightMax >= 164 {
+			t.Errorf("%v: in-flight P2M reads hit the credit limit (%d); the blue regime needs spare credits",
+				q, p.Co.P2MReadsInflightMax)
+		}
+		if p.Co.P2MReadsInflight < 10 {
+			t.Errorf("%v: implausibly few in-flight P2M reads (%.1f)", q, p.Co.P2MReadsInflight)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/hostcc"
+)
+
+// The §7 direction made concrete: in the red regime, an in-host congestion
+// controller recovers most of the P2M degradation at a bounded C2M cost.
+func TestHostCCMitigatesRedRegime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	s := RunHostCCStudy(Q3, 5, hostcc.DefaultConfig(), Defaults())
+	t.Logf("Q3/5: P2M degr %.2fx -> %.2fx | C2M degr %.2fx -> %.2fx | congested %.0f%% gap %.0fns",
+		s.P2MDegrOff(), s.P2MDegrOn(), s.C2MDegrOff(), s.C2MDegrOn(),
+		s.CongestedFrac*100, s.AvgGapNanos)
+	if s.P2MDegrOff() < 1.4 {
+		t.Fatalf("baseline not in the red regime: P2M degr %.2fx", s.P2MDegrOff())
+	}
+	if s.P2MDegrOn() > s.P2MDegrOff()*0.8 {
+		t.Errorf("controller did not recover P2M throughput: %.2fx -> %.2fx",
+			s.P2MDegrOff(), s.P2MDegrOn())
+	}
+	if s.CongestedFrac < 0.2 {
+		t.Errorf("congestion signal fired only %.0f%% of the time", s.CongestedFrac*100)
+	}
+	// The C2M cost must be bounded (not starvation).
+	if s.C2MOn < s.C2MOff*0.5 {
+		t.Errorf("controller over-throttled C2M: %.1f -> %.1f GB/s", s.C2MOff/1e9, s.C2MOn/1e9)
+	}
+}
+
+// In the blue regime the congestion signals stay quiet and the controller
+// must not hurt C2M.
+func TestHostCCIdleInBlueRegime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	s := RunHostCCStudy(Q1, 3, hostcc.DefaultConfig(), Defaults())
+	t.Logf("Q1/3: C2M degr %.2fx -> %.2fx congested %.0f%% gap %.1fns",
+		s.C2MDegrOff(), s.C2MDegrOn(), s.CongestedFrac*100, s.AvgGapNanos)
+	if s.CongestedFrac > 0.05 {
+		t.Errorf("spurious congestion signal in the blue regime: %.0f%%", s.CongestedFrac*100)
+	}
+	if s.C2MOn < s.C2MOff*0.95 {
+		t.Errorf("controller hurt blue-regime C2M: %.1f -> %.1f GB/s", s.C2MOff/1e9, s.C2MOn/1e9)
+	}
+}
+
+// The §7 MC-scheduling direction: reserving WPQ slots for P2M writes
+// protects the P2M-Write domain from C2M writeback backlog without any
+// runtime controller.
+func TestMCIsolationProtectsP2M(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	s := RunMCIsolationStudy(5, 16, Defaults())
+	t.Logf("Q3/5 reserve=16: P2M %.2fx -> %.2fx | C2M %.2fx -> %.2fx",
+		s.P2MDegrOff(), s.P2MDegrOn(), s.C2MDegrOff(), s.C2MDegrOn())
+	if s.P2MDegrOff() < 1.4 {
+		t.Fatalf("baseline not red: %.2fx", s.P2MDegrOff())
+	}
+	if s.P2MDegrOn() > s.P2MDegrOff()*0.85 {
+		t.Errorf("reservation did not protect P2M: %.2fx -> %.2fx", s.P2MDegrOff(), s.P2MDegrOn())
+	}
+	if s.C2MOn < s.C2MOff*0.5 {
+		t.Errorf("reservation starved C2M: %.1f -> %.1f GB/s", s.C2MOff/1e9, s.C2MOn/1e9)
+	}
+}

@@ -1,0 +1,209 @@
+package exp
+
+import (
+	"repro/internal/host"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// addRDMADevice attaches the quadrant's RDMA load to the host and returns
+// the NIC throughput/pause accessors.
+func addRDMADevice(h *host.Host, q Quadrant) (bw func() float64, pause func() float64, reset func()) {
+	cfg := netsim.DefaultRDMAWriteConfig(h.Region(1 << 30))
+	if q.P2MWrites() {
+		nic := netsim.NewRDMAWrite(h.Eng, cfg, h.IIO)
+		nic.Start(0)
+		return nic.BytesPerSec, func() float64 { return nic.PauseFrac.Frac() }, nic.ResetStats
+	}
+	nic := netsim.NewRDMARead(h.Eng, cfg, h.IIO)
+	nic.Start(0)
+	return nic.BytesPerSec, func() float64 { return 0 }, nic.ResetStats
+}
+
+// RDMAQuadrantPoint extends a quadrant point with RoCE/PFC observables.
+type RDMAQuadrantPoint struct {
+	QuadrantPoint
+	PauseFrac float64 // fraction of time PFC pause asserted (colocated)
+	// IIOOccSamples are per-microsecond IIO write-buffer occupancy samples
+	// from the colocated run (Fig 23).
+	IIOOccSamples []int
+}
+
+// RunRDMAQuadrant mirrors RunQuadrant with NIC-generated P2M traffic
+// (Fig 18, with the probes of Figs 20-22/24 in the Measure snapshots).
+func RunRDMAQuadrant(q Quadrant, coreCounts []int, opt Options) []RDMAQuadrantPoint {
+	// NIC-only baseline.
+	p2m := opt.newHost()
+	nicBW, _, nicReset := addRDMADevice(p2m, q)
+	p2m.Eng.RunUntil(opt.Warmup)
+	p2m.ResetStats()
+	nicReset()
+	p2m.Eng.RunUntil(opt.Warmup + opt.Window)
+	p2mIso := snapshot(p2m)
+	p2mIso.P2MBW = nicBW()
+
+	var pts []RDMAQuadrantPoint
+	for _, n := range coreCounts {
+		var p RDMAQuadrantPoint
+		p.Quadrant, p.Cores, p.P2MIso = q, n, p2mIso
+
+		iso := opt.newHost()
+		addC2MCores(iso, q, n)
+		iso.Run(opt.Warmup, opt.Window)
+		p.C2MIso = snapshot(iso)
+
+		co := opt.newHost()
+		addC2MCores(co, q, n)
+		coBW, coPause, coReset := addRDMADevice(co, q)
+		co.Eng.RunUntil(opt.Warmup)
+		co.ResetStats()
+		coReset()
+		// Microsecond-scale IIO occupancy sampling (Fig 23).
+		stop := co.Eng.Now() + opt.Window
+		var sample func()
+		sample = func() {
+			p.IIOOccSamples = append(p.IIOOccSamples, co.IIO.Stats().WriteOcc.Level())
+			if co.Eng.Now()+sim.Microsecond <= stop {
+				co.Eng.After(sim.Microsecond, sample)
+			}
+		}
+		co.Eng.After(sim.Microsecond, sample)
+		co.Eng.RunUntil(stop)
+		p.Co = snapshot(co)
+		p.Co.P2MBW = coBW()
+		p.PauseFrac = coPause()
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// RunFig18 runs all four RDMA quadrants.
+func RunFig18(opt Options) map[Quadrant][]RDMAQuadrantPoint {
+	out := make(map[Quadrant][]RDMAQuadrantPoint, 4)
+	for _, q := range []Quadrant{Q1, Q2, Q3, Q4} {
+		out[q] = RunRDMAQuadrant(q, DefaultCoreSweep(), opt)
+	}
+	return out
+}
+
+// DCTCPPoint is one data point of the TCP case study (Fig 19/25/26).
+type DCTCPPoint struct {
+	C2MCores  int
+	ReadWrite bool // memory app kind: C2M-Read vs C2M-ReadWrite
+
+	// Memory app (iso/colocated aggregate bandwidth).
+	MemAppIso, MemAppCo float64
+	// Network app goodput (iso/colocated).
+	NetIso, NetCo float64
+	// P2M (NIC DMA) bandwidth colocated.
+	P2MCo float64
+	// LossRate is dropped/sent packets colocated.
+	LossRate float64
+	Co       Measure
+	// MemIso is the memory app's isolated snapshot (formula constants).
+	MemIso Measure
+	// CopierLFBOcc and CopierC2MBW are the network app cores' average LFB
+	// occupancy and aggregate C2M bandwidth in the colocated run (Appendix
+	// E.2's inputs).
+	CopierLFBOcc float64
+	CopierC2MBW  float64
+	// NetIsoP2MLat is the isolated run's P2M-Write domain latency (ns).
+	NetIsoP2MLat float64
+}
+
+// MemAppDegradation reports the memory app's slowdown.
+func (p DCTCPPoint) MemAppDegradation() float64 { return degradation(p.MemAppIso, p.MemAppCo) }
+
+// NetAppDegradation reports the network app's slowdown.
+func (p DCTCPPoint) NetAppDegradation() float64 { return degradation(p.NetIso, p.NetCo) }
+
+// dctcpHost builds a receiver host: 4 copier cores + n memory-app cores.
+func dctcpHost(opt Options, memCores int, readWrite bool) (*host.Host, *netsim.DCTCPReceiver) {
+	h := opt.newHost()
+	cfg := netsim.DefaultDCTCPConfig(h.Region(1 << 30))
+	rx := netsim.NewDCTCPReceiver(h.Eng, cfg, h.IIO)
+	for i := 0; i < cfg.Flows; i++ {
+		c := h.AddCore(rx.Copier(i))
+		rx.AttachCopier(i, c)
+	}
+	for i := 0; i < memCores; i++ {
+		base := h.Region(1 << 30)
+		if readWrite {
+			h.AddCore(workload.NewSeqReadWrite(base, 1<<30))
+		} else {
+			h.AddCore(workload.NewSeqRead(base, 1<<30))
+		}
+	}
+	rx.Start(0)
+	return h, rx
+}
+
+// memAppBW sums bandwidth over the memory-app cores (indices >= flows).
+func memAppBW(h *host.Host, flows int) float64 {
+	var bw float64
+	for i, c := range h.Cores {
+		if i >= flows {
+			bw += c.Stats().ReadBytesPerSec() + c.Stats().WriteBytesPerSec()
+		}
+	}
+	return bw
+}
+
+// RunDCTCP sweeps memory-app core counts against the 4-flow DCTCP receiver
+// (Fig 19; probes for Figs 25/26 ride along in Co).
+func RunDCTCP(readWrite bool, coreCounts []int, opt Options) []DCTCPPoint {
+	// Network-only baseline.
+	nIso, rxIso := dctcpHost(opt, 0, readWrite)
+	nIso.Eng.RunUntil(opt.Warmup * 4) // DCTCP needs RTTs to converge
+	nIso.ResetStats()
+	rxIso.ResetStats()
+	nIso.Eng.RunUntil(nIso.Eng.Now() + opt.Window)
+	netIso := rxIso.GoodputBytesPerSec()
+	netIsoP2MLat := snapshot(nIso).P2MWriteLat
+
+	var pts []DCTCPPoint
+	for _, n := range coreCounts {
+		p := DCTCPPoint{C2MCores: n, ReadWrite: readWrite, NetIso: netIso, NetIsoP2MLat: netIsoP2MLat}
+
+		iso := opt.newHost()
+		for i := 0; i < n; i++ {
+			base := iso.Region(1 << 30)
+			if readWrite {
+				iso.AddCore(workload.NewSeqReadWrite(base, 1<<30))
+			} else {
+				iso.AddCore(workload.NewSeqRead(base, 1<<30))
+			}
+		}
+		iso.Run(opt.Warmup, opt.Window)
+		p.MemAppIso = iso.C2MBW()
+		p.MemIso = snapshot(iso)
+
+		co, rx := dctcpHost(opt, n, readWrite)
+		co.Eng.RunUntil(opt.Warmup * 4)
+		co.ResetStats()
+		rx.ResetStats()
+		co.Eng.RunUntil(co.Eng.Now() + opt.Window)
+		flows := netsim.DefaultDCTCPConfig(0).Flows
+		p.MemAppCo = memAppBW(co, flows)
+		for i := 0; i < flows && i < len(co.Cores); i++ {
+			st := co.Cores[i].Stats()
+			p.CopierLFBOcc += st.LFBOcc.Avg()
+			p.CopierC2MBW += st.ReadBytesPerSec() + st.WriteBytesPerSec()
+		}
+		p.NetCo = rx.GoodputBytesPerSec()
+		p.P2MCo = rx.P2MBytesPerSec()
+		p.LossRate = rx.LossRate()
+		p.Co = snapshot(co)
+		p.Co.P2MBW = p.P2MCo
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// RunFig19 runs both TCP case studies: C2M-Read + TCP Rx and C2M-ReadWrite
+// + TCP Rx, sweeping 1-4 memory-app cores (4 cores are dedicated to iperf).
+func RunFig19(opt Options) (read, readWrite []DCTCPPoint) {
+	cores := []int{1, 2, 3, 4}
+	return RunDCTCP(false, cores, opt), RunDCTCP(true, cores, opt)
+}

@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"math"
+	"testing"
+)
+
+// Fig 29: the formula captures the memory app and the network app's C2M/P2M
+// halves within the paper's error envelope (the paper reports <10% except
+// one high-loss point; we allow a simulated-substrate margin).
+func TestFig29DCTCPFormula(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	read, rw := RunFig29(Defaults())
+	for _, pts := range [][]DCTCPFormulaPoint{read, rw} {
+		for _, f := range pts {
+			t.Logf("rw=%v cores=%d: mem err=%.1f%% netC2M err=%.1f%% netP2M err=%.1f%%",
+				f.ReadWrite, f.C2MCores, f.MemErrPct, f.NetC2MErrPct, f.NetP2MErrPct)
+			if math.Abs(f.MemErrPct) > 25 {
+				t.Errorf("rw=%v cores=%d: memory app error %.1f%%", f.ReadWrite, f.C2MCores, f.MemErrPct)
+			}
+			if math.Abs(f.NetC2MErrPct) > 30 {
+				t.Errorf("rw=%v cores=%d: network C2M error %.1f%%", f.ReadWrite, f.C2MCores, f.NetC2MErrPct)
+			}
+			if math.Abs(f.NetP2MErrPct) > 40 {
+				t.Errorf("rw=%v cores=%d: network P2M error %.1f%%", f.ReadWrite, f.C2MCores, f.NetP2MErrPct)
+			}
+		}
+	}
+}
+
+// Fig 27: the formula on the RDMA case study.
+func TestFig27RDMAFormula(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	opt := Defaults()
+	for _, q := range []Quadrant{Q1, Q3} {
+		pts := RunRDMAQuadrant(q, []int{1, 4, 6}, opt)
+		for _, p := range pts {
+			f := ValidateFormula(p.QuadrantPoint, opt)
+			t.Logf("RDMA %v cores=%d: C2M err=%.1f%% (corr %.1f%%) P2M err=%.1f%%",
+				q, p.Cores, f.C2MErrorPct, f.C2MErrorCHAPct, f.P2MErrorPct)
+			err := math.Abs(f.C2MErrorPct)
+			if c := math.Abs(f.C2MErrorCHAPct); c < err {
+				err = c
+			}
+			if err > 20 {
+				t.Errorf("RDMA %v cores=%d: C2M error %.1f%%", q, p.Cores, err)
+			}
+			if math.Abs(f.P2MErrorPct) > 30 {
+				t.Errorf("RDMA %v cores=%d: P2M error %.1f%%", q, p.Cores, f.P2MErrorPct)
+			}
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analytic"
+)
+
+// The §7 predictive model (configuration in, throughput out — no measured
+// inputs) tracks the simulator across the quadrant-1 sweep.
+func TestPredictorTracksSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	hw := analytic.CascadeLakeHW()
+	opt := Defaults()
+	for _, cores := range []int{1, 2, 4} {
+		p := RunQuadrantPoint(Q1, cores, opt)
+		pred := analytic.Predict(hw, analytic.Workload{C2MCores: cores, P2MWriteBytesPerSec: 14e9})
+		simBW := p.Co.C2MBW
+		err := (pred.C2MBytesPerSec - simBW) / simBW * 100
+		t.Logf("cores=%d: sim %.1f GB/s, predicted %.1f GB/s (%.1f%%), L sim %.0f pred %.0f",
+			cores, simBW/1e9, pred.C2MBytesPerSec/1e9, err, p.Co.C2MLat, pred.C2MReadLatencyNs)
+		if math.Abs(err) > 25 {
+			t.Errorf("cores=%d: prediction error %.1f%%, want within 25%%", cores, err)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package exp
+
+import "testing"
+
+// §2.2: prefetching improves sequential C2M throughput in both isolated and
+// colocated cases while the degradation ratio stays roughly the same.
+func TestPrefetchStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	s := RunPrefetchStudy(2, Defaults())
+	t.Logf("isoOff=%.1f isoOn=%.1f coOff=%.1f coOn=%.1f | degrOff=%.2fx degrOn=%.2fx",
+		s.IsoOff/1e9, s.IsoOn/1e9, s.CoOff/1e9, s.CoOn/1e9, s.DegradationOff(), s.DegradationOn())
+	if s.IsoOn <= s.IsoOff*1.1 {
+		t.Errorf("prefetching should improve isolated throughput (%.1f -> %.1f GB/s)",
+			s.IsoOff/1e9, s.IsoOn/1e9)
+	}
+	if s.CoOn <= s.CoOff {
+		t.Errorf("prefetching should improve colocated throughput (%.1f -> %.1f GB/s)",
+			s.CoOff/1e9, s.CoOn/1e9)
+	}
+	dOff, dOn := s.DegradationOff(), s.DegradationOn()
+	if dOn < dOff*0.7 || dOn > dOff*1.45 {
+		t.Errorf("degradation ratio should stay roughly the same: off %.2fx vs on %.2fx", dOff, dOn)
+	}
+}

@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/host"
+	"repro/internal/periph"
+	"repro/internal/workload"
+)
+
+// Quadrant identifies one of the §2.2 colocation scenarios.
+type Quadrant int
+
+// The four quadrants of Fig 3.
+const (
+	Q1 Quadrant = 1 + iota // C2M-Read   + P2M-Write (blue)
+	Q2                     // C2M-Read   + P2M-Read  (blue)
+	Q3                     // C2M-ReadWrite + P2M-Write (red)
+	Q4                     // C2M-ReadWrite + P2M-Read  (blue)
+)
+
+// C2MWrites reports whether the quadrant's compute workload stores.
+func (q Quadrant) C2MWrites() bool { return q == Q3 || q == Q4 }
+
+// P2MWrites reports whether the quadrant's peripheral workload DMA-writes.
+func (q Quadrant) P2MWrites() bool { return q == Q1 || q == Q3 }
+
+// String names the quadrant like the paper's captions.
+func (q Quadrant) String() string {
+	c2m, p2m := "C2M-Read", "P2M-Read"
+	if q.C2MWrites() {
+		c2m = "C2M-ReadWrite"
+	}
+	if q.P2MWrites() {
+		p2m = "P2M-Write"
+	}
+	return fmt.Sprintf("Q%d (%s, %s)", int(q), c2m, p2m)
+}
+
+// addC2MCores attaches n cores running the quadrant's compute workload.
+func addC2MCores(h *host.Host, q Quadrant, n int) {
+	for i := 0; i < n; i++ {
+		base := h.Region(1 << 30)
+		var gen cpu.Generator
+		if q.C2MWrites() {
+			gen = workload.NewSeqReadWrite(base, 1<<30)
+		} else {
+			gen = workload.NewSeqRead(base, 1<<30)
+		}
+		h.AddCore(gen)
+	}
+}
+
+// addP2MDevice attaches the quadrant's bulk FIO device.
+func addP2MDevice(h *host.Host, q Quadrant) {
+	dir := periph.DMARead
+	if q.P2MWrites() {
+		dir = periph.DMAWrite
+	}
+	h.AddStorage(periph.BulkConfig(dir, h.Region(1<<30)))
+}
+
+// QuadrantPoint is one (quadrant, C2M core count) data point: the isolated
+// baselines, the colocated measurement, and derived degradations.
+type QuadrantPoint struct {
+	Quadrant Quadrant
+	Cores    int
+
+	C2MIso Measure // N C2M cores alone
+	P2MIso Measure // device alone
+	Co     Measure // colocated
+}
+
+// C2MDegradation reports isolated/colocated C2M throughput (Fig 3 left bars).
+func (p QuadrantPoint) C2MDegradation() float64 { return degradation(p.C2MIso.C2MBW, p.Co.C2MBW) }
+
+// P2MDegradation reports isolated/colocated P2M throughput.
+func (p QuadrantPoint) P2MDegradation() float64 { return degradation(p.P2MIso.P2MBW, p.Co.P2MBW) }
+
+// Regime classifies the point.
+func (p QuadrantPoint) Regime() core.Regime {
+	return core.Classify(p.C2MDegradation(), p.P2MDegradation())
+}
+
+// RunQuadrantPoint measures one data point (three runs).
+func RunQuadrantPoint(q Quadrant, cores int, opt Options) QuadrantPoint {
+	p := QuadrantPoint{Quadrant: q, Cores: cores}
+
+	iso := opt.newHost()
+	addC2MCores(iso, q, cores)
+	iso.Run(opt.Warmup, opt.Window)
+	p.C2MIso = snapshot(iso)
+
+	p2m := opt.newHost()
+	addP2MDevice(p2m, q)
+	p2m.Run(opt.Warmup, opt.Window)
+	p.P2MIso = snapshot(p2m)
+
+	co := opt.newHost()
+	addC2MCores(co, q, cores)
+	addP2MDevice(co, q)
+	co.Run(opt.Warmup, opt.Window)
+	p.Co = snapshot(co)
+	return p
+}
+
+// RunQuadrant sweeps C2M core counts for one quadrant — the Fig 3 series,
+// which the deep-dive figures (7, 8, 13, 14) then read probes from.
+func RunQuadrant(q Quadrant, coreCounts []int, opt Options) []QuadrantPoint {
+	pts := make([]QuadrantPoint, 0, len(coreCounts))
+	// The P2M isolated baseline is independent of the C2M core count.
+	p2m := opt.newHost()
+	addP2MDevice(p2m, q)
+	p2m.Run(opt.Warmup, opt.Window)
+	p2mIso := snapshot(p2m)
+	for _, n := range coreCounts {
+		p := QuadrantPoint{Quadrant: q, Cores: n, P2MIso: p2mIso}
+		iso := opt.newHost()
+		addC2MCores(iso, q, n)
+		iso.Run(opt.Warmup, opt.Window)
+		p.C2MIso = snapshot(iso)
+
+		co := opt.newHost()
+		addC2MCores(co, q, n)
+		addP2MDevice(co, q)
+		co.Run(opt.Warmup, opt.Window)
+		p.Co = snapshot(co)
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// DefaultCoreSweep matches the paper's Cascade Lake sweep: the C2M app gets
+// the cores not dedicated to the P2M app.
+func DefaultCoreSweep() []int { return []int{1, 2, 3, 4, 5, 6} }
+
+// RunFig3 runs all four quadrants (Fig 3).
+func RunFig3(opt Options) map[Quadrant][]QuadrantPoint {
+	out := make(map[Quadrant][]QuadrantPoint, 4)
+	for _, q := range []Quadrant{Q1, Q2, Q3, Q4} {
+		out[q] = RunQuadrant(q, DefaultCoreSweep(), opt)
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned text table, the output format of every
+// experiment's "regenerate the figure" path.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row, formatting each cell with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	fmt.Fprintln(w)
+}
+
+// gb formats bytes/s as GB/s.
+func gb(v float64) string { return fmt.Sprintf("%.2f", v/1e9) }
+
+// x formats a degradation factor.
+func x(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// RenderQuadrants renders Fig 3-style tables, one per quadrant.
+func RenderQuadrants(w io.Writer, res map[Quadrant][]QuadrantPoint) {
+	for _, q := range []Quadrant{Q1, Q2, Q3, Q4} {
+		pts, ok := res[q]
+		if !ok {
+			continue
+		}
+		t := Table{
+			Title: fmt.Sprintf("Fig 3 %s", q),
+			Header: []string{"cores", "C2M degr", "P2M degr", "C2M GB/s", "P2M GB/s",
+				"memC2M", "memP2M", "regime"},
+		}
+		for _, p := range pts {
+			t.Add(p.Cores, x(p.C2MDegradation()), x(p.P2MDegradation()),
+				gb(p.Co.C2MBW), gb(p.Co.P2MBW), gb(p.Co.MemC2M), gb(p.Co.MemP2M),
+				p.Regime().String())
+		}
+		t.Render(w)
+	}
+}
+
+// RenderQuadrantProbes renders the Fig 7/8/13/14-style root-cause table for
+// one quadrant sweep.
+func RenderQuadrantProbes(w io.Writer, fig string, pts []QuadrantPoint) {
+	t := Table{
+		Title: fig,
+		Header: []string{"cores", "C2Mlat iso", "C2Mlat co", "RPQ co", "rowmiss iso", "rowmiss co",
+			"WPQfull", "wback", "P2Mlat co", "IIOocc", "admit ns", "dev>=1.5x"},
+	}
+	for _, p := range pts {
+		p2mLat := p.Co.P2MWriteLat
+		if !p.Quadrant.P2MWrites() {
+			p2mLat = p.Co.P2MReadLat
+		}
+		t.Add(p.Cores,
+			fmt.Sprintf("%.0f", p.C2MIso.C2MLat), fmt.Sprintf("%.0f", p.Co.C2MLat),
+			fmt.Sprintf("%.1f", p.Co.RPQOcc),
+			fmt.Sprintf("%.3f", p.C2MIso.RowMissC2MRead), fmt.Sprintf("%.3f", p.Co.RowMissC2MRead),
+			fmt.Sprintf("%.2f", p.Co.WPQFullFrac), fmt.Sprintf("%.1f", p.Co.WBacklog),
+			fmt.Sprintf("%.0f", p2mLat), fmt.Sprintf("%.0f", p.Co.IIOWriteOcc+p.Co.IIOReadOcc),
+			fmt.Sprintf("%.1f", p.Co.CHAAdmitLat), fmt.Sprintf("%.2f", p.Co.BankDevFracGE15))
+	}
+	t.Render(w)
+}
+
+// RenderDomainEvidence renders the Fig 6 / §4.2 table.
+func RenderDomainEvidence(w io.Writer, ev DomainEvidence) {
+	t := Table{
+		Title: "Fig 6: domain evidence (latencies in ns)",
+		Header: []string{"cores", "LFB(read)", "CHA->DRAM", "LFB(rw)", "CHA->MC wr",
+			"LFB wr", "IIO(probe)", "CHA->MC wr(P2M)"},
+	}
+	for _, p := range ev.Points {
+		t.Add(p.Cores,
+			fmt.Sprintf("%.0f", p.ReadLFBLat), fmt.Sprintf("%.0f", p.ReadCHADram),
+			fmt.Sprintf("%.0f", p.RWLFBLat), fmt.Sprintf("%.0f", p.RWCHAMCWr),
+			fmt.Sprintf("%.0f", p.RWWriteLat),
+			fmt.Sprintf("%.0f", p.ProbeIIOLat), fmt.Sprintf("%.0f", p.ProbeCHAMCWr))
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "domain characterization (measured): LFB credits=%d, IIO write credits~%d, "+
+		"IIO read in-flight lower bound=%d\n", ev.LFBCredits, ev.IIOWriteCredits, ev.IIOReadCredits)
+	fmt.Fprintf(w, "unloaded latencies: C2M-Read=%.0fns C2M-Write=%.0fns P2M-Write=%.0fns\n\n",
+		ev.UnloadedC2MRead, ev.UnloadedC2MWrite, ev.UnloadedP2MWrite)
+}
+
+// RenderFormula renders the Fig 11 error table and Fig 12 breakdowns.
+func RenderFormula(w io.Writer, res map[Quadrant][]FormulaPoint) {
+	t := Table{
+		Title:  "Fig 11: analytical formula error (%)",
+		Header: []string{"quadrant", "cores", "C2M err", "C2M err(+CHA)", "P2M err"},
+	}
+	for _, q := range []Quadrant{Q1, Q2, Q3, Q4} {
+		for _, f := range res[q] {
+			t.Add(fmt.Sprintf("Q%d", int(f.Quadrant)), f.Cores,
+				fmt.Sprintf("%+.1f", f.C2MErrorPct), fmt.Sprintf("%+.1f", f.C2MErrorCHAPct),
+				fmt.Sprintf("%+.1f", f.P2MErrorPct))
+		}
+	}
+	t.Render(w)
+	b := Table{
+		Title:  "Fig 12: C2M queueing-delay breakdown (ns)",
+		Header: []string{"quadrant", "cores", "switching", "writeHoL", "readHoL", "topOfQueue"},
+	}
+	for _, q := range []Quadrant{Q1, Q2, Q3, Q4} {
+		for _, f := range res[q] {
+			b.Add(fmt.Sprintf("Q%d", int(f.Quadrant)), f.Cores,
+				fmt.Sprintf("%.1f", f.C2MBreakdown.Switching), fmt.Sprintf("%.1f", f.C2MBreakdown.WriteHoL),
+				fmt.Sprintf("%.1f", f.C2MBreakdown.ReadHoL), fmt.Sprintf("%.1f", f.C2MBreakdown.TopOfQueue))
+		}
+	}
+	b.Render(w)
+}
+
+// RenderApps renders Fig 1/2/15/16/17-style app colocation tables.
+func RenderApps(w io.Writer, title string, series map[string][]AppPoint) {
+	t := Table{
+		Title:  title,
+		Header: []string{"app", "ddio", "cores", "app degr", "P2M degr", "memC2M", "memP2M"},
+	}
+	for name, pts := range series {
+		for _, p := range pts {
+			t.Add(name, p.DDIO, p.Cores, x(p.AppDegradation()), x(p.P2MDegradation()),
+				gb(p.Co.MemC2M), gb(p.Co.MemP2M))
+		}
+	}
+	t.Render(w)
+}
+
+// RenderRDMA renders Fig 18-style tables.
+func RenderRDMA(w io.Writer, res map[Quadrant][]RDMAQuadrantPoint) {
+	for _, q := range []Quadrant{Q1, Q2, Q3, Q4} {
+		pts, ok := res[q]
+		if !ok {
+			continue
+		}
+		t := Table{
+			Title:  fmt.Sprintf("Fig 18 RDMA %s", q),
+			Header: []string{"cores", "C2M degr", "P2M degr", "NIC GB/s", "PFC pause", "IIOocc"},
+		}
+		for _, p := range pts {
+			t.Add(p.Cores, x(p.C2MDegradation()), x(p.P2MDegradation()),
+				gb(p.Co.P2MBW), fmt.Sprintf("%.2f", p.PauseFrac),
+				fmt.Sprintf("%.0f", p.Co.IIOWriteOcc+p.Co.IIOReadOcc))
+		}
+		t.Render(w)
+	}
+}
+
+// RenderDCTCP renders Fig 19-style tables.
+func RenderDCTCP(w io.Writer, read, rw []DCTCPPoint) {
+	for _, set := range []struct {
+		name string
+		pts  []DCTCPPoint
+	}{{"C2MRead + TCP Rx", read}, {"C2MReadWrite + TCP Rx", rw}} {
+		t := Table{
+			Title: fmt.Sprintf("Fig 19: %s", set.name),
+			Header: []string{"cores", "mem degr", "net degr", "net GB/s", "P2M GB/s",
+				"loss", "WPQfull"},
+		}
+		for _, p := range set.pts {
+			t.Add(p.C2MCores, x(p.MemAppDegradation()), x(p.NetAppDegradation()),
+				gb(p.NetCo), gb(p.P2MCo), fmt.Sprintf("%.4f", p.LossRate),
+				fmt.Sprintf("%.2f", p.Co.WPQFullFrac))
+		}
+		t.Render(w)
+	}
+}
+
+// RenderTable1 renders the hardware configuration table.
+func RenderTable1(w io.Writer) {
+	t := Table{
+		Title:  "Table 1: simulated server configurations",
+		Header: []string{"", "IceLake", "CascadeLake"},
+	}
+	t.Add("Cores", 32, 8)
+	t.Add("DRAM", "4x3200MHz DDR4", "2x2933MHz DDR4")
+	t.Add("DRAM BW", "102.4 GB/s", "46.9 GB/s")
+	t.Add("PCIe BW (theoretical)", "32 GB/s", "16 GB/s")
+	t.Add("PCIe BW (achievable)", "28 GB/s", "14 GB/s")
+	t.Add("LFB credits/core", 12, 12)
+	t.Add("IIO write credits", 184, 92)
+	t.Add("IIO read credits", 328, 164)
+	t.Render(w)
+}

@@ -1,0 +1,140 @@
+package host
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cha"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/iio"
+	"repro/internal/mem"
+	"repro/internal/numa"
+	"repro/internal/periph"
+	"repro/internal/sim"
+)
+
+// socketHomeBit selects the home socket from a physical address: regions on
+// socket 1 live above 1<<socketHomeBit.
+const socketHomeBit = 38
+
+// Socket is one socket's worth of host network inside a DualHost.
+type Socket struct {
+	MC   *dram.Controller
+	CHA  *cha.CHA
+	IIO  *iio.IIO
+	DDIO *cache.DDIO
+
+	nextRegion mem.Addr
+}
+
+// DualHost is a two-socket host joined by a UPI-style interconnect — the
+// paper's §7 "multiple sockets" extension. Each socket runs the full
+// single-socket model; the numa.Router carries cross-socket traffic.
+type DualHost struct {
+	Eng     *sim.Engine
+	Cfg     Config
+	UPI     *numa.Router
+	Sockets [2]*Socket
+
+	Cores       []*cpu.Core
+	coreSockets []int
+	Devices     []*periph.Storage
+}
+
+// NewDual assembles two sockets of the given per-socket config.
+func NewDual(cfg Config, upi numa.Config) *DualHost {
+	eng := sim.New()
+	h := &DualHost{Eng: eng, Cfg: cfg}
+	var chas [2]mem.Submitter
+	for s := 0; s < 2; s++ {
+		mapper := mem.MustMapper(cfg.Mapper)
+		mc := dram.New(eng, cfg.MC, mapper, nil)
+		ddio := cache.NewDDIO(cfg.DDIO)
+		c := cha.New(eng, cfg.CHA, mc, ddio)
+		h.Sockets[s] = &Socket{MC: mc, CHA: c, DDIO: ddio}
+		chas[s] = c
+	}
+	h.UPI = numa.New(eng, upi, chas[0], chas[1], func(a mem.Addr) int {
+		return int(a >> socketHomeBit & 1)
+	})
+	for s := 0; s < 2; s++ {
+		h.Sockets[s].IIO = iio.New(eng, cfg.IIO, h.UPI.Port(s))
+	}
+	return h
+}
+
+// RegionOn allocates a fresh 1 GiB-aligned region homed on the given socket.
+func (h *DualHost) RegionOn(socket int, bytes int64) mem.Addr {
+	if socket < 0 || socket > 1 {
+		panic(fmt.Sprintf("host: socket %d out of range", socket))
+	}
+	s := h.Sockets[socket]
+	base := s.nextRegion
+	span := (mem.Addr(bytes) + (1 << 30) - 1) &^ ((1 << 30) - 1)
+	if span == 0 {
+		span = 1 << 30
+	}
+	s.nextRegion += span
+	return base | mem.Addr(socket)<<socketHomeBit
+}
+
+// AddCoreOn creates a core on the given socket and starts it at time 0. The
+// generator's addresses decide whether its traffic is local or remote.
+func (h *DualHost) AddCoreOn(socket int, gen cpu.Generator) *cpu.Core {
+	c := cpu.New(h.Eng, h.Cfg.Core, len(h.Cores), h.UPI.Port(socket), gen)
+	h.Cores = append(h.Cores, c)
+	h.coreSockets = append(h.coreSockets, socket)
+	c.Start(0)
+	return c
+}
+
+// AddStorageOn attaches a device to the given socket's IIO.
+func (h *DualHost) AddStorageOn(socket int, cfg periph.Config) *periph.Storage {
+	d := periph.New(h.Eng, cfg, h.Sockets[socket].IIO, len(h.Devices))
+	h.Devices = append(h.Devices, d)
+	d.Start(0)
+	return d
+}
+
+// ResetStats starts a fresh window on every probe.
+func (h *DualHost) ResetStats() {
+	for _, s := range h.Sockets {
+		s.MC.Stats().Reset()
+		s.CHA.Stats().Reset()
+		s.IIO.Stats().Reset()
+		s.DDIO.ResetStats()
+	}
+	h.UPI.Stats().Reset()
+	for _, c := range h.Cores {
+		c.Stats().Reset()
+	}
+	for _, d := range h.Devices {
+		d.Stats().Reset()
+	}
+}
+
+// Run warms up, resets probes, and runs the measurement window.
+func (h *DualHost) Run(warmup, window sim.Time) {
+	h.Eng.RunUntil(h.Eng.Now() + warmup)
+	h.ResetStats()
+	h.Eng.RunUntil(h.Eng.Now() + window)
+}
+
+// C2MBW sums core bandwidth (bytes/s).
+func (h *DualHost) C2MBW() float64 {
+	var bw float64
+	for _, c := range h.Cores {
+		bw += c.Stats().ReadBytesPerSec() + c.Stats().WriteBytesPerSec()
+	}
+	return bw
+}
+
+// P2MBW sums device bandwidth (bytes/s).
+func (h *DualHost) P2MBW() float64 {
+	var bw float64
+	for _, d := range h.Devices {
+		bw += d.Stats().BytesPerSec()
+	}
+	return bw
+}

@@ -1,0 +1,134 @@
+package mem
+
+import "fmt"
+
+// Mapper translates physical addresses to DRAM coordinates (channel, bank,
+// row) using the static-hash style mapping of Intel memory controllers:
+// cacheline-granularity channel interleaving, column bits below bank bits,
+// and an XOR of low row bits into the bank index (the "permutation-based
+// interleaving" of DRAMA/Zhang et al.). The XOR spreads streams across banks
+// but — as §5.1 of the paper stresses — does not guarantee balance, which is
+// one of the two root causes of queueing before bandwidth saturation.
+type Mapper struct {
+	channels  int
+	banks     int
+	rowLines  int // cachelines per row
+	chShift   uint
+	chMask    uint64
+	colMask   uint64
+	colBits   uint
+	bankMask  uint64
+	bankBits  uint
+	xorRowLow bool
+}
+
+// MapperConfig configures a Mapper. All counts must be powers of two.
+type MapperConfig struct {
+	Channels int // memory channels (DIMMs), each with an independent controller queue pair
+	Banks    int // banks per channel
+	RowBytes int // row (DRAM page) size in bytes
+	// XORRowIntoBank enables the permutation-based bank hash. Real
+	// controllers enable it; disabling it makes stream collisions absolute
+	// (useful for worst-case tests).
+	XORRowIntoBank bool
+}
+
+// DefaultMapperConfig matches the Cascade Lake testbed: 2 channels, 32 banks
+// per channel (2 ranks x 16 banks), 8 KB rows.
+func DefaultMapperConfig() MapperConfig {
+	return MapperConfig{Channels: 2, Banks: 32, RowBytes: 8192, XORRowIntoBank: true}
+}
+
+// Coord is a decoded DRAM coordinate.
+type Coord struct {
+	Channel int
+	Bank    int
+	Row     int64
+}
+
+func log2(v int) (uint, bool) {
+	if v <= 0 || v&(v-1) != 0 {
+		return 0, false
+	}
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n, true
+}
+
+// NewMapper builds a Mapper; it returns an error if any size is not a power
+// of two.
+func NewMapper(cfg MapperConfig) (*Mapper, error) {
+	chBits, ok := log2(cfg.Channels)
+	if !ok {
+		return nil, fmt.Errorf("mem: channels must be a power of two, got %d", cfg.Channels)
+	}
+	bankBits, ok := log2(cfg.Banks)
+	if !ok {
+		return nil, fmt.Errorf("mem: banks must be a power of two, got %d", cfg.Banks)
+	}
+	if cfg.RowBytes%LineSize != 0 {
+		return nil, fmt.Errorf("mem: row bytes %d not a multiple of line size", cfg.RowBytes)
+	}
+	colBits, ok := log2(cfg.RowBytes / LineSize)
+	if !ok {
+		return nil, fmt.Errorf("mem: row lines must be a power of two, got %d", cfg.RowBytes/LineSize)
+	}
+	return &Mapper{
+		channels:  cfg.Channels,
+		banks:     cfg.Banks,
+		rowLines:  cfg.RowBytes / LineSize,
+		chShift:   chBits,
+		chMask:    uint64(cfg.Channels - 1),
+		colMask:   uint64(cfg.RowBytes/LineSize - 1),
+		colBits:   colBits,
+		bankMask:  uint64(cfg.Banks - 1),
+		bankBits:  bankBits,
+		xorRowLow: cfg.XORRowIntoBank,
+	}, nil
+}
+
+// MustMapper is NewMapper that panics on config error; for use with the
+// validated presets.
+func MustMapper(cfg MapperConfig) *Mapper {
+	m, err := NewMapper(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Channels reports the channel count.
+func (m *Mapper) Channels() int { return m.channels }
+
+// Banks reports the per-channel bank count.
+func (m *Mapper) Banks() int { return m.banks }
+
+// RowLines reports cachelines per row.
+func (m *Mapper) RowLines() int { return m.rowLines }
+
+// Map decodes a physical address. Consecutive cachelines interleave across
+// channels; within a channel, a row's worth of lines share (bank, row) so
+// sequential streams enjoy row locality.
+func (m *Mapper) Map(a Addr) Coord {
+	line := uint64(a) / LineSize
+	ch := line & m.chMask
+	li := line >> m.chShift
+	bank := (li >> m.colBits) & m.bankMask
+	row := li >> (m.colBits + m.bankBits)
+	if m.xorRowLow {
+		// Fold the whole row index into the bank bits (DRAMA-style
+		// multi-bit XOR), so large power-of-two strides — e.g. two buffers
+		// 1 GiB apart — do not march through identical bank sequences.
+		fold := row
+		for fold > uint64(m.bankMask) {
+			bank ^= fold & m.bankMask
+			fold >>= m.bankBits
+		}
+		bank ^= fold & m.bankMask
+		bank &= m.bankMask
+	}
+	return Coord{Channel: int(ch), Bank: int(bank), Row: int64(row)}
+}

@@ -1,0 +1,346 @@
+package netsim
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/iio"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// DCTCPConfig models the paper's TCP case study: iperf-like long flows into
+// a receiver over a lossy fabric with ECN, Linux DCTCP, 9 KB jumbo frames,
+// and a kernel receive path that copies every payload byte from socket
+// buffers to application buffers on a CPU core.
+type DCTCPConfig struct {
+	Flows        int
+	MSS          int      // bytes per packet (9000-byte jumbo frames)
+	RTT          sim.Time // base network round-trip
+	InitCwnd     int      // bytes
+	MaxCwnd      int      // bytes (sender buffer bound)
+	ECNThresh    int      // NIC rx queue ECN mark threshold (bytes)
+	QueueCap     int      // NIC rx queue capacity (bytes); beyond this, drops
+	SocketBuf    int      // per-flow socket buffer (flow-control window), bytes
+	G            float64  // DCTCP gain
+	PerPacketCPU sim.Time // receiver per-packet protocol processing
+	BufBase      mem.Addr
+}
+
+// DefaultDCTCPConfig matches the paper's setup: 4 flows, 9K MTU, 100 Gbps
+// link, DCTCP with standard gain.
+func DefaultDCTCPConfig(base mem.Addr) DCTCPConfig {
+	return DCTCPConfig{
+		Flows:        4,
+		MSS:          9000,
+		RTT:          12 * sim.Microsecond,
+		InitCwnd:     64 << 10,
+		MaxCwnd:      512 << 10,
+		ECNThresh:    48 << 10,
+		QueueCap:     128 << 10,
+		SocketBuf:    256 << 10,
+		G:            0.0625,
+		PerPacketCPU: 700 * sim.Nanosecond,
+		BufBase:      base,
+	}
+}
+
+type dctcpFlow struct {
+	rx *DCTCPReceiver
+	id int
+
+	// Sender state.
+	cwnd     float64
+	alpha    float64
+	inflight int // bytes sent, not yet acked
+	acked    int // bytes acked this window round
+	marked   int // bytes marked this round
+	roundEnd int // bytes outstanding when the round started
+
+	// Receiver state.
+	sockBytes int // bytes in socket buffer awaiting copy
+	copier    *copyGen
+
+	retransAt sim.Time
+}
+
+// DCTCPReceiver is the receiver-side host model: NIC rx queue with ECN and
+// drops, DMA into socket buffers, and per-flow copy work on receiver cores.
+type DCTCPReceiver struct {
+	eng *sim.Engine
+	cfg DCTCPConfig
+	io  *iio.IIO
+
+	flows    []*dctcpFlow
+	queue    int // NIC rx queue bytes
+	nicBusy  bool
+	dmaQueue []*dctcpPacket
+	waiting  bool
+	nextLine int64
+
+	// AppBytes counts bytes delivered to application buffers (the iperf
+	// goodput the paper reports).
+	AppBytes *telemetry.Counter
+	// NICBytes counts bytes DMA'd (the P2M load).
+	NICBytes *telemetry.Counter
+	// Drops and Sent count packets for the loss rate.
+	Drops, Sent *telemetry.Counter
+	// QueueOcc tracks the NIC rx queue.
+	QueueOcc *telemetry.Integrator
+}
+
+type dctcpPacket struct {
+	flow  *dctcpFlow
+	bytes int
+	ecn   bool
+	lines int // remaining lines to DMA
+}
+
+// NewDCTCPReceiver builds the receiver; attach each flow's copier to a host
+// core via Copiers, then Start.
+func NewDCTCPReceiver(eng *sim.Engine, cfg DCTCPConfig, io *iio.IIO) *DCTCPReceiver {
+	r := &DCTCPReceiver{
+		eng:      eng,
+		cfg:      cfg,
+		io:       io,
+		AppBytes: telemetry.NewCounter(eng),
+		NICBytes: telemetry.NewCounter(eng),
+		Drops:    telemetry.NewCounter(eng),
+		Sent:     telemetry.NewCounter(eng),
+		QueueOcc: telemetry.NewIntegrator(eng),
+	}
+	for i := 0; i < cfg.Flows; i++ {
+		f := &dctcpFlow{rx: r, id: i, cwnd: float64(cfg.InitCwnd)}
+		f.copier = &copyGen{flow: f, appBase: cfg.BufBase + mem.Addr(i)<<28}
+		r.flows = append(r.flows, f)
+	}
+	return r
+}
+
+// AttachCopier binds flow i's copy generator to a receiver core; the caller
+// creates the core with this generator (one dedicated core per flow, as the
+// paper dedicates 4 iperf cores).
+func (r *DCTCPReceiver) AttachCopier(i int, c *cpu.Core) { r.flows[i].copier.Bind(c) }
+
+// Copier returns flow i's access generator.
+func (r *DCTCPReceiver) Copier(i int) cpu.Generator { return r.flows[i].copier }
+
+// Start begins all senders at time t.
+func (r *DCTCPReceiver) Start(t sim.Time) {
+	r.eng.At(t, func() {
+		for _, f := range r.flows {
+			r.trySend(f)
+		}
+	})
+}
+
+// rwnd is the flow's advertised window.
+func (r *DCTCPReceiver) rwnd(f *dctcpFlow) int {
+	w := r.cfg.SocketBuf - f.sockBytes
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// trySend transmits packets while cwnd and rwnd allow.
+func (r *DCTCPReceiver) trySend(f *dctcpFlow) {
+	for {
+		win := int(f.cwnd)
+		if rw := r.rwnd(f); rw < win {
+			win = rw
+		}
+		if f.inflight+r.cfg.MSS > win {
+			// Window-limited: a timer retries if no ack arrives (covers the
+			// rwnd-limited case where acks carry the window update).
+			if f.retransAt <= r.eng.Now() {
+				f.retransAt = r.eng.Now() + r.cfg.RTT
+				r.eng.At(f.retransAt, func() { r.trySend(f) })
+			}
+			return
+		}
+		f.inflight += r.cfg.MSS
+		r.Sent.Inc()
+		pkt := &dctcpPacket{flow: f, bytes: r.cfg.MSS}
+		// One-way delay, then NIC arrival.
+		r.eng.After(r.cfg.RTT/2, func() { r.nicArrive(pkt) })
+	}
+}
+
+// nicArrive applies ECN marking and drop at the NIC rx queue.
+func (r *DCTCPReceiver) nicArrive(p *dctcpPacket) {
+	if r.queue+p.bytes > r.cfg.QueueCap {
+		// Drop: the ack never comes; recover after an RTO-ish delay.
+		r.Drops.Inc()
+		f := p.flow
+		r.eng.After(2*r.cfg.RTT, func() {
+			f.inflight -= p.bytes
+			// Loss response: multiplicative decrease.
+			f.cwnd = max(f.cwnd/2, float64(r.cfg.MSS))
+			r.trySend(f)
+		})
+		return
+	}
+	p.ecn = r.queue >= r.cfg.ECNThresh
+	r.queue += p.bytes
+	r.QueueOcc.Add(p.bytes)
+	r.dmaQueue = append(r.dmaQueue, p)
+	r.dmaPump()
+}
+
+// dmaPump DMAs queued packets into socket buffers, line by line.
+func (r *DCTCPReceiver) dmaPump() {
+	for len(r.dmaQueue) > 0 {
+		p := r.dmaQueue[0]
+		if p.lines == 0 {
+			p.lines = (p.bytes + mem.LineSize - 1) / mem.LineSize
+		}
+		for p.lines > 0 {
+			addr := r.cfg.BufBase + mem.Addr((r.nextLine*mem.LineSize)%(1<<28))
+			pkt := p
+			last := p.lines == 1
+			ok := r.io.TryWrite(addr, 0, func() {
+				if last {
+					r.packetDelivered(pkt)
+				}
+			})
+			if !ok {
+				if !r.waiting {
+					r.waiting = true
+					r.io.NotifyWrite(func() { r.waiting = false; r.dmaPump() })
+				}
+				return
+			}
+			r.nextLine++
+			p.lines--
+		}
+		r.dmaQueue = r.dmaQueue[1:]
+	}
+}
+
+// packetDelivered lands a packet in the socket buffer and returns the ACK.
+func (r *DCTCPReceiver) packetDelivered(p *dctcpPacket) {
+	r.NICBytes.IncN(p.bytes)
+	r.queue -= p.bytes
+	r.QueueOcc.Add(-p.bytes)
+	f := p.flow
+	f.sockBytes += p.bytes
+	f.copier.wake()
+	ecn := p.ecn
+	r.eng.After(r.cfg.RTT/2, func() { r.ack(f, p.bytes, ecn) })
+}
+
+// ack processes a (delayed) acknowledgment at the sender: DCTCP window math.
+func (r *DCTCPReceiver) ack(f *dctcpFlow, bytes int, ecn bool) {
+	f.inflight -= bytes
+	f.acked += bytes
+	if ecn {
+		f.marked += bytes
+	}
+	// Per-RTT round accounting: once a cwnd's worth is acked, update alpha
+	// and apply the DCTCP decrease (or additive increase).
+	if f.acked >= int(f.cwnd) {
+		frac := 0.0
+		if f.acked > 0 {
+			frac = float64(f.marked) / float64(f.acked)
+		}
+		f.alpha = (1-r.cfg.G)*f.alpha + r.cfg.G*frac
+		if f.marked > 0 {
+			f.cwnd = max(f.cwnd*(1-f.alpha/2), float64(r.cfg.MSS))
+		} else {
+			f.cwnd = min(f.cwnd+float64(r.cfg.MSS), float64(r.cfg.MaxCwnd))
+		}
+		f.acked, f.marked = 0, 0
+	}
+	r.trySend(f)
+}
+
+// GoodputBytesPerSec reports application-level receive throughput.
+func (r *DCTCPReceiver) GoodputBytesPerSec() float64 { return r.AppBytes.RatePerSecond() }
+
+// P2MBytesPerSec reports the NIC's DMA (P2M) bandwidth.
+func (r *DCTCPReceiver) P2MBytesPerSec() float64 { return r.NICBytes.RatePerSecond() }
+
+// LossRate reports dropped/sent packets.
+func (r *DCTCPReceiver) LossRate() float64 {
+	if r.Sent.Count() == 0 {
+		return 0
+	}
+	return float64(r.Drops.Count()) / float64(r.Sent.Count())
+}
+
+// ResetStats starts a new measurement window.
+func (r *DCTCPReceiver) ResetStats() {
+	r.AppBytes.Reset()
+	r.NICBytes.Reset()
+	r.Drops.Reset()
+	r.Sent.Reset()
+	r.QueueOcc.Reset()
+}
+
+// copyGen is the per-flow kernel receive path on a core: for every payload
+// cacheline it reads the socket buffer line (C2M read through the LFB) and
+// writes the application buffer line (C2M write), plus per-packet protocol
+// processing. Its speed therefore degrades exactly when the C2M-Read domain
+// latency inflates — the paper's blue-regime coupling for TCP (§2.3).
+type copyGen struct {
+	flow    *dctcpFlow
+	appBase mem.Addr
+	core    *cpu.Core
+
+	pos        int64
+	pendingWB  []mem.Addr
+	packetLeft int // lines left in the current packet's copy
+	readyAt    sim.Time
+}
+
+// Bind attaches the copier to its receiver core so that data arrivals can
+// re-poll an idle core (cores otherwise only re-poll on completions).
+func (g *copyGen) Bind(c *cpu.Core) { g.core = c }
+
+// wake is called when new socket-buffer data lands.
+func (g *copyGen) wake() {
+	if g.core != nil {
+		g.core.Nudge()
+	}
+}
+
+// Poll implements cpu.Generator.
+func (g *copyGen) Poll(now sim.Time) (cpu.Access, sim.Time, bool) {
+	if len(g.pendingWB) > 0 {
+		a := g.pendingWB[0]
+		g.pendingWB = g.pendingWB[1:]
+		return cpu.Access{Addr: a, Kind: mem.Write}, now, true
+	}
+	if g.readyAt > now {
+		return cpu.Access{}, g.readyAt, true
+	}
+	if g.packetLeft == 0 {
+		f := g.flow
+		mss := f.rx.cfg.MSS
+		if f.sockBytes < mss {
+			return cpu.Access{}, 0, false // wait for data (wake() re-polls)
+		}
+		f.sockBytes -= mss
+		// Window opens: the ack path piggybacks the new rwnd; nudge the
+		// sender.
+		f.rx.trySend(f)
+		g.packetLeft = (mss + mem.LineSize - 1) / mem.LineSize
+		// Per-packet protocol processing before the copy starts.
+		g.readyAt = now + f.rx.cfg.PerPacketCPU
+		return cpu.Access{}, g.readyAt, true
+	}
+	g.packetLeft--
+	addr := g.flow.rx.cfg.BufBase + mem.Addr((g.pos*mem.LineSize)%(1<<28))
+	g.pos++
+	return cpu.Access{Addr: addr, Kind: mem.Read}, now, true
+}
+
+// OnComplete implements cpu.Generator: each copied line is written to the
+// app buffer, and finishing a packet's copy counts as goodput.
+func (g *copyGen) OnComplete(acc cpu.Access, now sim.Time) {
+	if acc.Kind != mem.Read {
+		return
+	}
+	g.pendingWB = append(g.pendingWB, g.appBase+mem.Addr((g.pos*mem.LineSize)%(1<<27)))
+	g.flow.rx.AppBytes.IncN(mem.LineSize)
+}

@@ -1,0 +1,225 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/cha"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/iio"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func testRig() (*sim.Engine, *iio.IIO, *cha.CHA) {
+	eng := sim.New()
+	mapper := mem.MustMapper(mem.DefaultMapperConfig())
+	mc := dram.New(eng, dram.DefaultConfig(), mapper, nil)
+	ch := cha.New(eng, cha.DefaultConfig(), mc, nil)
+	return eng, iio.New(eng, iio.DefaultConfig(), ch), ch
+}
+
+func TestRDMAWriteWireRate(t *testing.T) {
+	eng, io, _ := testRig()
+	nic := NewRDMAWrite(eng, DefaultRDMAWriteConfig(0), io)
+	nic.Start(0)
+	eng.RunUntil(20 * sim.Microsecond)
+	nic.ResetStats()
+	eng.RunUntil(120 * sim.Microsecond)
+	bw := nic.BytesPerSec()
+	// ~98 Gbps = 12.25 GB/s, unimpeded.
+	if bw < 11.8e9 || bw > 12.6e9 {
+		t.Fatalf("RoCE write bw %.2f GB/s, want ~12.25", bw/1e9)
+	}
+	if nic.PauseFrac.Frac() > 0.01 {
+		t.Fatalf("spurious PFC pauses on an idle host: %.3f", nic.PauseFrac.Frac())
+	}
+}
+
+func TestRDMAWritePFCPausesUnderThrottledIIO(t *testing.T) {
+	eng := sim.New()
+	mapper := mem.MustMapper(mem.DefaultMapperConfig())
+	mcCfg := dram.DefaultConfig()
+	mc := dram.New(eng, mcCfg, mapper, nil)
+	ch := cha.New(eng, cha.DefaultConfig(), mc, nil)
+	// Throttle the IIO link to half the wire rate: the NIC queue must grow
+	// and PFC must engage, with no line ever dropped (losslessness).
+	ioCfg := iio.DefaultConfig()
+	ioCfg.LinePeriodUp = 10 * sim.Nanosecond // 6.4 GB/s
+	io := iio.New(eng, ioCfg, ch)
+	nic := NewRDMAWrite(eng, DefaultRDMAWriteConfig(0), io)
+	nic.Start(0)
+	eng.RunUntil(50 * sim.Microsecond)
+	nic.ResetStats()
+	eng.RunUntil(250 * sim.Microsecond)
+	if frac := nic.PauseFrac.Frac(); frac < 0.3 {
+		t.Fatalf("pause fraction %.2f, want large under a 2x-throttled IIO", frac)
+	}
+	bw := nic.BytesPerSec()
+	if bw < 5.5e9 || bw > 7e9 {
+		t.Fatalf("throttled RoCE bw %.2f GB/s, want ~6.4 (IIO-bound)", bw/1e9)
+	}
+	if nic.QueueOcc.Max() > 8192 {
+		t.Fatalf("queue exceeded its capacity: %d", nic.QueueOcc.Max())
+	}
+}
+
+func TestRDMAReadWireRate(t *testing.T) {
+	eng, io, _ := testRig()
+	nic := NewRDMARead(eng, DefaultRDMAWriteConfig(0), io)
+	nic.Start(0)
+	eng.RunUntil(20 * sim.Microsecond)
+	nic.ResetStats()
+	eng.RunUntil(120 * sim.Microsecond)
+	bw := nic.BytesPerSec()
+	if bw < 11.5e9 || bw > 12.6e9 {
+		t.Fatalf("RoCE read bw %.2f GB/s, want ~12.25", bw/1e9)
+	}
+}
+
+func TestRDMAInvalidThresholdsPanic(t *testing.T) {
+	eng, io, _ := testRig()
+	cfg := DefaultRDMAWriteConfig(0)
+	cfg.PauseLo = cfg.PauseHi
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("bad PFC thresholds did not panic")
+		}
+	}()
+	NewRDMAWrite(eng, cfg, io)
+}
+
+// dctcpRig builds a receiver with its copiers attached to real cores.
+func dctcpRig() (*sim.Engine, *DCTCPReceiver) {
+	eng := sim.New()
+	mapper := mem.MustMapper(mem.DefaultMapperConfig())
+	mc := dram.New(eng, dram.DefaultConfig(), mapper, nil)
+	ch := cha.New(eng, cha.DefaultConfig(), mc, nil)
+	io := iio.New(eng, iio.DefaultConfig(), ch)
+	rx := NewDCTCPReceiver(eng, DefaultDCTCPConfig(0), io)
+	for i := 0; i < 4; i++ {
+		c := cpu.New(eng, cpu.DefaultConfig(), i, ch, rx.Copier(i))
+		rx.AttachCopier(i, c)
+		c.Start(0)
+	}
+	return eng, rx
+}
+
+func TestDCTCPConvergesNearWireRate(t *testing.T) {
+	eng, rx := dctcpRig()
+	rx.Start(0)
+	eng.RunUntil(100 * sim.Microsecond)
+	rx.ResetStats()
+	eng.RunUntil(250 * sim.Microsecond)
+	if g := rx.GoodputBytesPerSec(); g < 8e9 {
+		t.Fatalf("goodput %.2f GB/s, want near the 12.5 GB/s wire", g/1e9)
+	}
+	if rx.LossRate() > 0.02 {
+		t.Fatalf("steady-state loss %.4f too high", rx.LossRate())
+	}
+}
+
+func TestDCTCPECNControlsQueue(t *testing.T) {
+	eng, rx := dctcpRig()
+	rx.Start(0)
+	eng.RunUntil(300 * sim.Microsecond)
+	// Steady state: the queue stays in the ECN-controlled band, well below
+	// capacity.
+	occ := rx.QueueOcc.Avg()
+	if occ > float64(rx.cfg.QueueCap) {
+		t.Fatalf("average queue %.0f exceeds capacity", occ)
+	}
+	if occ <= 0 {
+		t.Fatalf("queue never occupied")
+	}
+}
+
+func TestDCTCPGoodputMatchesP2M(t *testing.T) {
+	eng, rx := dctcpRig()
+	rx.Start(0)
+	eng.RunUntil(100 * sim.Microsecond)
+	rx.ResetStats()
+	eng.RunUntil(250 * sim.Microsecond)
+	g, p := rx.GoodputBytesPerSec(), rx.P2MBytesPerSec()
+	// Copied bytes track DMA'd bytes in steady state (within buffer slack).
+	if g < p*0.85 || g > p*1.15 {
+		t.Fatalf("goodput %.2f vs P2M %.2f GB/s diverged", g/1e9, p/1e9)
+	}
+}
+
+func TestDCTCPWindowNeverNegative(t *testing.T) {
+	eng, rx := dctcpRig()
+	rx.Start(0)
+	eng.RunUntil(400 * sim.Microsecond)
+	for _, f := range rx.flows {
+		if f.cwnd < float64(rx.cfg.MSS) {
+			t.Fatalf("flow %d cwnd %.0f below one MSS", f.id, f.cwnd)
+		}
+		if f.inflight < 0 {
+			t.Fatalf("flow %d negative inflight %d", f.id, f.inflight)
+		}
+		if f.sockBytes < 0 {
+			t.Fatalf("flow %d negative socket occupancy %d", f.id, f.sockBytes)
+		}
+	}
+}
+
+func TestDCTCPFairnessAcrossFlows(t *testing.T) {
+	eng, rx := dctcpRig()
+	rx.Start(0)
+	eng.RunUntil(150 * sim.Microsecond)
+	var minW, maxW float64
+	for i, f := range rx.flows {
+		if i == 0 || f.cwnd < minW {
+			minW = f.cwnd
+		}
+		if i == 0 || f.cwnd > maxW {
+			maxW = f.cwnd
+		}
+	}
+	if maxW > 6*minW {
+		t.Fatalf("flow windows diverged: min %.0f max %.0f", minW, maxW)
+	}
+}
+
+// Host contention must not break inter-flow fairness: all four DCTCP flows
+// share the degraded bottleneck roughly equally (the transport's fairness
+// survives; what the paper calls isolation violation happens *between* the
+// network app and colocated memory apps, not among the flows).
+func TestDCTCPFairnessUnderHostContention(t *testing.T) {
+	eng := sim.New()
+	mapper := mem.MustMapper(mem.DefaultMapperConfig())
+	mc := dram.New(eng, dram.DefaultConfig(), mapper, nil)
+	ch := cha.New(eng, cha.DefaultConfig(), mc, nil)
+	// Throttled IIO: the DMA path is the bottleneck, as in the red regime.
+	ioCfg := iio.DefaultConfig()
+	ioCfg.LinePeriodUp = 8 * sim.Nanosecond // 8 GB/s
+	io := iio.New(eng, ioCfg, ch)
+	rx := NewDCTCPReceiver(eng, DefaultDCTCPConfig(0), io)
+	var perFlowStart [4]uint64
+	for i := 0; i < 4; i++ {
+		c := cpu.New(eng, cpu.DefaultConfig(), i, ch, rx.Copier(i))
+		rx.AttachCopier(i, c)
+		c.Start(0)
+	}
+	rx.Start(0)
+	eng.RunUntil(150 * sim.Microsecond)
+	for i, f := range rx.flows {
+		perFlowStart[i] = uint64(f.cwnd)
+	}
+	minW, maxW := perFlowStart[0], perFlowStart[0]
+	for _, w := range perFlowStart[1:] {
+		if w < minW {
+			minW = w
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW > 8*minW {
+		t.Fatalf("flows diverged under contention: windows %v", perFlowStart)
+	}
+	if g := rx.GoodputBytesPerSec(); g > 9e9 {
+		t.Fatalf("goodput %.1f GB/s exceeds the throttled DMA path", g/1e9)
+	}
+}

@@ -1,0 +1,194 @@
+// Package netsim models the networking case studies of the paper's §2.3 and
+// Appendices C-E: a NIC generating P2M traffic with either a hardware-
+// offloaded lossless transport (RoCE with Priority Flow Control) or an
+// in-kernel lossy transport (DCTCP), colocated with C2M workloads.
+//
+// The key structural difference from local storage is the feedback loop: a
+// NIC cannot slow the remote sender directly — RoCE asserts PFC pauses when
+// its receive buffering fills, while DCTCP relies on ECN marks and packet
+// drops whose effects arrive a round-trip later.
+package netsim
+
+import (
+	"repro/internal/iio"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// RDMAWriteConfig models ib_write_bw server-side: the remote peer streams
+// RDMA WRITEs at line rate; every payload cacheline becomes a P2M DMA write.
+type RDMAWriteConfig struct {
+	// LinePeriod is the wire arrival period per cacheline (~5.2 ns at the
+	// ~98 Gbps the paper's ConnectX-5 sustains).
+	LinePeriod sim.Time
+	// QueueCapLines bounds NIC receive buffering (lossless via PFC).
+	QueueCapLines int
+	// PauseHi/PauseLo are the PFC XOFF/XON thresholds in lines.
+	PauseHi, PauseLo int
+	// PauseDelay is the pause-frame propagation + reaction time.
+	PauseDelay sim.Time
+	// BufBase is the DMA target region.
+	BufBase mem.Addr
+	// BufBytes is the region size (ring).
+	BufBytes int64
+}
+
+// DefaultRDMAWriteConfig matches the paper's 100 Gbps RoCE/PFC setup.
+func DefaultRDMAWriteConfig(base mem.Addr) RDMAWriteConfig {
+	return RDMAWriteConfig{
+		LinePeriod:    5220 * sim.Picosecond, // ~98 Gbps
+		QueueCapLines: 8192,                  // 512 KB NIC buffer
+		PauseHi:       6144,
+		PauseLo:       2048,
+		PauseDelay:    600 * sim.Nanosecond,
+		BufBase:       base,
+		BufBytes:      1 << 30,
+	}
+}
+
+// RDMAWrite is the server-side RoCE write receiver.
+type RDMAWrite struct {
+	eng *sim.Engine
+	cfg RDMAWriteConfig
+	io  *iio.IIO
+
+	queue    int  // lines buffered in the NIC
+	paused   bool // sender currently paused (after propagation)
+	xoff     bool // pause asserted at the NIC
+	nextLine int64
+	waiting  bool
+
+	// Delivered counts lines whose DMA completed (the app-visible
+	// throughput of the RDMA transfer).
+	Delivered *telemetry.Counter
+	// PauseFrac measures the fraction of time PFC pause is asserted.
+	PauseFrac *telemetry.FracTimer
+	// QueueOcc tracks NIC buffer occupancy.
+	QueueOcc *telemetry.Integrator
+}
+
+// NewRDMAWrite builds the receiver; call Start to begin the stream.
+func NewRDMAWrite(eng *sim.Engine, cfg RDMAWriteConfig, io *iio.IIO) *RDMAWrite {
+	if cfg.PauseLo >= cfg.PauseHi || cfg.PauseHi > cfg.QueueCapLines {
+		panic("netsim: PFC thresholds must satisfy lo < hi <= cap")
+	}
+	return &RDMAWrite{
+		eng:       eng,
+		cfg:       cfg,
+		io:        io,
+		Delivered: telemetry.NewCounter(eng),
+		PauseFrac: telemetry.NewFracTimer(eng),
+		QueueOcc:  telemetry.NewIntegrator(eng),
+	}
+}
+
+// Start begins wire arrivals at time t.
+func (r *RDMAWrite) Start(t sim.Time) {
+	r.eng.At(t, r.arrive)
+}
+
+// arrive models one cacheline landing from the wire.
+func (r *RDMAWrite) arrive() {
+	if !r.paused {
+		if r.queue < r.cfg.QueueCapLines {
+			r.queue++
+			r.QueueOcc.Add(1)
+		}
+		// PFC keeps the queue from overflowing; a full queue with pause
+		// still propagating absorbs into the (modelled) headroom.
+		r.updatePFC()
+		r.pump()
+	}
+	r.eng.After(r.cfg.LinePeriod, r.arrive)
+}
+
+// updatePFC asserts/deasserts pause with propagation delay.
+func (r *RDMAWrite) updatePFC() {
+	if !r.xoff && r.queue >= r.cfg.PauseHi {
+		r.xoff = true
+		r.PauseFrac.Set(true)
+		r.eng.After(r.cfg.PauseDelay, func() { r.paused = r.xoff })
+	} else if r.xoff && r.queue <= r.cfg.PauseLo {
+		r.xoff = false
+		r.PauseFrac.Set(false)
+		r.eng.After(r.cfg.PauseDelay, func() { r.paused = r.xoff })
+	}
+}
+
+// pump DMA-writes buffered lines through the IIO.
+func (r *RDMAWrite) pump() {
+	for r.queue > 0 {
+		addr := r.cfg.BufBase + mem.Addr((r.nextLine*mem.LineSize)%r.cfg.BufBytes)
+		if !r.io.TryWrite(addr, 0, func() { r.Delivered.Inc() }) {
+			if !r.waiting {
+				r.waiting = true
+				r.io.NotifyWrite(func() { r.waiting = false; r.pump() })
+			}
+			return
+		}
+		r.nextLine++
+		r.queue--
+		r.QueueOcc.Add(-1)
+		r.updatePFC()
+	}
+}
+
+// BytesPerSec reports delivered DMA bandwidth.
+func (r *RDMAWrite) BytesPerSec() float64 { return r.Delivered.BytesPerSecond() }
+
+// ResetStats starts a new measurement window.
+func (r *RDMAWrite) ResetStats() {
+	r.Delivered.Reset()
+	r.PauseFrac.Reset()
+	r.QueueOcc.Reset()
+}
+
+// RDMARead models ib_read_bw server-side: the remote peer issues RDMA READs,
+// so the NIC DMA-reads server memory and streams it out — P2M read traffic
+// paced at the wire rate.
+type RDMARead struct {
+	eng *sim.Engine
+	cfg RDMAWriteConfig // reuses LinePeriod/Buf fields
+	io  *iio.IIO
+
+	nextLine int64
+	paceAt   sim.Time
+	waiting  bool
+
+	Delivered *telemetry.Counter
+}
+
+// NewRDMARead builds the read responder.
+func NewRDMARead(eng *sim.Engine, cfg RDMAWriteConfig, io *iio.IIO) *RDMARead {
+	return &RDMARead{eng: eng, cfg: cfg, io: io, Delivered: telemetry.NewCounter(eng)}
+}
+
+// Start begins serving the read stream at time t.
+func (r *RDMARead) Start(t sim.Time) { r.eng.At(t, r.pump) }
+
+func (r *RDMARead) pump() {
+	for {
+		now := r.eng.Now()
+		if r.paceAt > now {
+			r.eng.At(r.paceAt, r.pump)
+			return
+		}
+		addr := r.cfg.BufBase + mem.Addr((r.nextLine*mem.LineSize)%r.cfg.BufBytes)
+		if !r.io.TryRead(addr, 0, func() { r.Delivered.Inc() }) {
+			if !r.waiting {
+				r.waiting = true
+				r.io.NotifyRead(func() { r.waiting = false; r.pump() })
+			}
+			return
+		}
+		r.nextLine++
+		r.paceAt = now + r.cfg.LinePeriod
+	}
+}
+
+// BytesPerSec reports delivered read bandwidth.
+func (r *RDMARead) BytesPerSec() float64 { return r.Delivered.BytesPerSecond() }
+
+// ResetStats starts a new measurement window.
+func (r *RDMARead) ResetStats() { r.Delivered.Reset() }

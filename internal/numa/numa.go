@@ -1,0 +1,160 @@
+// Package numa extends the host model to multiple sockets — the first item
+// on the paper's §7 list ("a natural next step is to extend our study to
+// hosts with multiple sockets").
+//
+// Each socket owns a full local host network (CHA, MC, DRAM). A UPI-style
+// processor interconnect joins them: a request whose physical address is
+// homed on another socket crosses the link (paying per-direction
+// serialization for cacheline-sized messages plus a propagation latency),
+// is serviced by the *home* socket's CHA/MC, and its response crosses back.
+// Remote traffic therefore contends twice: on the UPI link and inside the
+// remote socket's memory interconnect — which is exactly what makes
+// cross-socket colocation interesting.
+package numa
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Config models the socket interconnect.
+type Config struct {
+	// ReqLatency is the one-way propagation for a request/ack message.
+	ReqLatency sim.Time
+	// DataLatency is the one-way propagation for a data message.
+	DataLatency sim.Time
+	// LinePeriod is the per-cacheline serialization time in one direction
+	// (~3.2 ns at 20 GB/s per direction).
+	LinePeriod sim.Time
+}
+
+// DefaultConfig models a two-socket UPI link: ~40 ns one-way, ~20 GB/s per
+// direction (remote-memory reads land at the familiar ~150 ns).
+func DefaultConfig() Config {
+	return Config{
+		ReqLatency:  40 * sim.Nanosecond,
+		DataLatency: 40 * sim.Nanosecond,
+		LinePeriod:  3200 * sim.Picosecond,
+	}
+}
+
+// Stats exposes the interconnect probes.
+type Stats struct {
+	// RemoteReads/RemoteWrites count cross-socket requests.
+	RemoteReads, RemoteWrites *telemetry.Counter
+	// LinkBusy measures utilization per direction (0: socket0->1).
+	LinkBusy [2]*telemetry.FracTimer
+}
+
+// Reset starts a new measurement window.
+func (s *Stats) Reset() {
+	s.RemoteReads.Reset()
+	s.RemoteWrites.Reset()
+	s.LinkBusy[0].Reset()
+	s.LinkBusy[1].Reset()
+}
+
+// Router joins two sockets' CHAs behind per-socket ingress ports.
+type Router struct {
+	eng    *sim.Engine
+	cfg    Config
+	chas   [2]mem.Submitter
+	homeOf func(mem.Addr) int
+
+	freeAt [2]sim.Time // per-direction link serialization
+	stats  *Stats
+}
+
+// New builds a router over two home CHAs; homeOf maps an address to its
+// home socket (0 or 1).
+func New(eng *sim.Engine, cfg Config, cha0, cha1 mem.Submitter, homeOf func(mem.Addr) int) *Router {
+	r := &Router{
+		eng:    eng,
+		cfg:    cfg,
+		chas:   [2]mem.Submitter{cha0, cha1},
+		homeOf: homeOf,
+		stats: &Stats{
+			RemoteReads:  telemetry.NewCounter(eng),
+			RemoteWrites: telemetry.NewCounter(eng),
+		},
+	}
+	r.stats.LinkBusy[0] = telemetry.NewFracTimer(eng)
+	r.stats.LinkBusy[1] = telemetry.NewFracTimer(eng)
+	return r
+}
+
+// Stats returns the interconnect probes.
+func (r *Router) Stats() *Stats { return r.stats }
+
+// Port returns the ingress for agents attached to the given socket.
+func (r *Router) Port(socket int) mem.Submitter { return &port{r: r, socket: socket} }
+
+type port struct {
+	r      *Router
+	socket int
+}
+
+// Submit routes a request from the port's socket to its home socket.
+func (p *port) Submit(req *mem.Request) {
+	r := p.r
+	home := r.homeOf(req.Addr)
+	if home == p.socket {
+		r.chas[home].Submit(req)
+		return
+	}
+	// Cross-socket: serialize on the outbound direction, propagate, then
+	// enter the home CHA. Writes carry data outbound; reads carry data on
+	// the way back.
+	dir := p.socket // direction index: 0 = socket0->1, 1 = socket1->0
+	if dir > 1 {
+		dir = 1
+	}
+	var outSer sim.Time
+	if req.Kind == mem.Write {
+		r.stats.RemoteWrites.Inc()
+		outSer = r.serialize(dir)
+	} else {
+		r.stats.RemoteReads.Inc()
+	}
+	// Wrap completion: the response crosses back to the requester's socket.
+	back := 1 - dir
+	done := req.Done
+	req.Done = func(rq *mem.Request) {
+		var backSer sim.Time
+		if rq.Kind == mem.Read {
+			backSer = r.serialize(back)
+		}
+		delay := r.cfg.ReqLatency
+		if rq.Kind == mem.Read {
+			delay = r.cfg.DataLatency
+		}
+		r.eng.After(backSer+delay, func() {
+			rq.TDone = r.eng.Now()
+			if done != nil {
+				done(rq)
+			}
+		})
+	}
+	r.eng.After(outSer+r.cfg.ReqLatency, func() { r.chas[home].Submit(req) })
+}
+
+// serialize reserves the next line slot on one link direction and returns
+// the queueing delay before transmission completes.
+func (r *Router) serialize(dir int) sim.Time {
+	now := r.eng.Now()
+	start := r.freeAt[dir]
+	if start < now {
+		start = now
+	}
+	r.freeAt[dir] = start + r.cfg.LinePeriod
+	busy := r.stats.LinkBusy[dir]
+	busy.Set(true)
+	end := r.freeAt[dir]
+	r.eng.At(end, func() {
+		if r.freeAt[dir] == end {
+			busy.Set(false)
+		}
+	})
+	return r.freeAt[dir] - now
+}

@@ -1,0 +1,136 @@
+package periph
+
+import (
+	"testing"
+
+	"repro/internal/cha"
+	"repro/internal/dram"
+	"repro/internal/iio"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func testRig() (*sim.Engine, *iio.IIO) {
+	eng := sim.New()
+	mapper := mem.MustMapper(mem.DefaultMapperConfig())
+	mc := dram.New(eng, dram.DefaultConfig(), mapper, nil)
+	ch := cha.New(eng, cha.DefaultConfig(), mc, nil)
+	return eng, iio.New(eng, iio.DefaultConfig(), ch)
+}
+
+func TestProbeRequestCompletes(t *testing.T) {
+	eng, io := testRig()
+	cfg := ProbeConfig(DMAWrite, 0)
+	cfg.DeviceDelay = 1 * sim.Microsecond
+	s := New(eng, cfg, io, 0)
+	s.Start(0)
+	eng.RunUntil(100 * sim.Microsecond)
+	if s.Stats().Requests.Count() == 0 {
+		t.Fatalf("no probe requests completed")
+	}
+	// 4KB requests: 64 lines each.
+	reqs := s.Stats().Requests.Count()
+	lines := s.Stats().Lines.Count()
+	if lines < reqs*64 {
+		t.Fatalf("lines %d < 64 * requests %d", lines, reqs)
+	}
+}
+
+func TestQueueDepth1IsSerial(t *testing.T) {
+	eng, io := testRig()
+	cfg := ProbeConfig(DMAWrite, 0)
+	cfg.DeviceDelay = 10 * sim.Microsecond
+	s := New(eng, cfg, io, 0)
+	s.Start(0)
+	eng.RunUntil(105 * sim.Microsecond)
+	// Each request takes >= 10us device delay: at most ~10 complete in 105us.
+	if n := s.Stats().Requests.Count(); n > 11 {
+		t.Fatalf("QD1 completed %d requests in 105us; serialization broken", n)
+	}
+}
+
+func TestBulkWriteSaturatesLink(t *testing.T) {
+	eng, io := testRig()
+	s := New(eng, BulkConfig(DMAWrite, 0), io, 0)
+	s.Start(0)
+	eng.RunUntil(20 * sim.Microsecond)
+	s.Stats().Reset()
+	io.Stats().Reset()
+	eng.RunUntil(120 * sim.Microsecond)
+	bw := s.Stats().BytesPerSec()
+	if bw < 13e9 || bw > 14.5e9 {
+		t.Fatalf("bulk DMA-write bw %.2f GB/s, want ~14", bw/1e9)
+	}
+}
+
+func TestBulkReadSaturatesLink(t *testing.T) {
+	eng, io := testRig()
+	s := New(eng, BulkConfig(DMARead, 0), io, 0)
+	s.Start(0)
+	eng.RunUntil(20 * sim.Microsecond)
+	s.Stats().Reset()
+	eng.RunUntil(120 * sim.Microsecond)
+	bw := s.Stats().BytesPerSec()
+	if bw < 13e9 || bw > 14.5e9 {
+		t.Fatalf("bulk DMA-read bw %.2f GB/s, want ~14", bw/1e9)
+	}
+}
+
+func TestSequentialAddressesWrap(t *testing.T) {
+	eng, io := testRig()
+	cfg := Config{
+		Dir: DMAWrite, RequestBytes: 4096, QueueDepth: 1,
+		DeviceDelay: 100 * sim.Nanosecond, BufBase: 1 << 30, BufBytes: 8192,
+	}
+	s := New(eng, cfg, io, 0)
+	s.Start(0)
+	eng.RunUntil(50 * sim.Microsecond)
+	// The 8KB buffer wraps; the device must keep issuing past it.
+	if s.Stats().Lines.Count() < 256 {
+		t.Fatalf("only %d lines with a wrapping buffer", s.Stats().Lines.Count())
+	}
+}
+
+func TestTwoDevicesShareLink(t *testing.T) {
+	eng, io := testRig()
+	a := New(eng, BulkConfig(DMAWrite, 0), io, 0)
+	b := New(eng, BulkConfig(DMAWrite, 4<<30), io, 1)
+	a.Start(0)
+	b.Start(0)
+	eng.RunUntil(20 * sim.Microsecond)
+	a.Stats().Reset()
+	b.Stats().Reset()
+	eng.RunUntil(120 * sim.Microsecond)
+	total := a.Stats().BytesPerSec() + b.Stats().BytesPerSec()
+	if total < 13e9 || total > 14.5e9 {
+		t.Fatalf("two devices total %.2f GB/s, want link-bound ~14", total/1e9)
+	}
+	ratio := a.Stats().BytesPerSec() / total
+	if ratio < 0.3 || ratio > 0.7 {
+		t.Fatalf("unfair link share: %.2f", ratio)
+	}
+}
+
+func TestIOPSAccounting(t *testing.T) {
+	eng, io := testRig()
+	cfg := ProbeConfig(DMAWrite, 0)
+	cfg.DeviceDelay = 1 * sim.Microsecond
+	s := New(eng, cfg, io, 0)
+	s.Start(0)
+	eng.RunUntil(sim.Millisecond)
+	iops := s.Stats().IOPS()
+	// ~1 request per (1us delay + ~transfer): several hundred thousand/s.
+	if iops < 1e5 || iops > 1.5e6 {
+		t.Fatalf("IOPS = %.0f out of plausible range", iops)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	eng, io := testRig()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("invalid config did not panic")
+		}
+	}()
+	New(eng, Config{RequestBytes: 1, QueueDepth: 1}, io, 0)
+}

@@ -1,0 +1,138 @@
+// Package sim provides the discrete-event simulation engine used by every
+// component of the host-network simulator.
+//
+// Time is an integer count of picoseconds, which keeps all timing algebra
+// exact: DRAM burst durations, PCIe serialization delays, and mode-switch
+// penalties compose without floating-point drift. Events fire in (time, seq)
+// order, so two events scheduled for the same instant run in scheduling
+// order, making whole-simulation runs fully deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated timestamp or duration in picoseconds.
+type Time int64
+
+// Common duration units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Nanoseconds reports t as a float64 count of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Seconds reports t as a float64 count of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with a unit chosen by magnitude.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%.3fns", t.Nanoseconds())
+	}
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1].fn = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler.
+//
+// The zero value is ready to use. Engines are not safe for concurrent use;
+// the simulator is deliberately single-threaded so that runs are reproducible.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	nRun   uint64
+}
+
+// New returns a fresh engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed reports the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.nRun }
+
+// Pending reports the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a component bug, and silently clamping would hide it.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d picoseconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Step executes the earliest pending event. It reports false if no events
+// remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.nRun++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t. Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+import "math/rand/v2"
+
+// Waker coalesces wake-up events for a component that wants to be "kicked"
+// whenever its inputs change. Multiple Wake calls for the same instant (or
+// while a wake is already pending at an earlier-or-equal time) collapse into
+// a single callback invocation, which keeps hot components (the memory
+// controller scheduler, the CHA admission stage) from flooding the event heap.
+type Waker struct {
+	eng       *Engine
+	fn        func()
+	pendingAt Time
+	pending   bool
+}
+
+// NewWaker returns a waker that invokes fn on the engine's event loop.
+func NewWaker(eng *Engine, fn func()) *Waker {
+	return &Waker{eng: eng, fn: fn}
+}
+
+// Wake requests a callback now (i.e., as a fresh event at the current time).
+func (w *Waker) Wake() { w.WakeAt(w.eng.Now()) }
+
+// WakeAt requests a callback at absolute time t. If a wake-up is already
+// pending at or before t, the request is absorbed.
+func (w *Waker) WakeAt(t Time) {
+	if t < w.eng.Now() {
+		t = w.eng.Now()
+	}
+	if w.pending && w.pendingAt <= t {
+		return
+	}
+	w.pending = true
+	w.pendingAt = t
+	target := t
+	w.eng.At(t, func() {
+		// A later WakeAt may have superseded this event with an earlier
+		// one; only fire if this event is still the active wake-up.
+		if !w.pending || w.pendingAt != target {
+			return
+		}
+		w.pending = false
+		w.fn()
+	})
+}
+
+// RNG returns a deterministic PCG-based random source for the given stream
+// seed. Each component takes its own stream so that adding randomness to one
+// component never perturbs another's sequence.
+func RNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}

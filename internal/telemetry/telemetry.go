@@ -1,0 +1,336 @@
+// Package telemetry reimplements the measurement methodology of the paper's
+// §4.2 in simulator form: time-weighted queue/buffer occupancy (O), request
+// arrival rates (R), and average latency derived through Little's law
+// (L = O/R). On real hardware these come from Intel uncore performance
+// counters sampled every second; in the simulator they are exact integrals
+// over a measurement window.
+//
+// Every probe supports Reset, which marks the start of the measurement
+// window. Experiments warm the system up, Reset all probes, run the measured
+// interval, and then read averages.
+package telemetry
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Integrator tracks a time-weighted integral of an integer level (queue
+// occupancy, buffer fill, credits in use). Avg reports the time-average level
+// over the window since the last Reset.
+type Integrator struct {
+	eng   *sim.Engine
+	level int64
+	area  int64 // sum of level * duration (picosecond-weighted)
+	max   int64
+	since sim.Time
+	last  sim.Time
+}
+
+// NewIntegrator returns an integrator starting at level 0.
+func NewIntegrator(eng *sim.Engine) *Integrator {
+	return &Integrator{eng: eng, since: eng.Now(), last: eng.Now()}
+}
+
+func (g *Integrator) settle() {
+	now := g.eng.Now()
+	if now > g.last {
+		g.area += g.level * int64(now-g.last)
+		g.last = now
+	}
+}
+
+// Add changes the level by delta.
+func (g *Integrator) Add(delta int) {
+	g.settle()
+	g.level += int64(delta)
+	if g.level < 0 {
+		panic("telemetry: integrator level went negative")
+	}
+	if g.level > g.max {
+		g.max = g.level
+	}
+}
+
+// Set forces the level to v.
+func (g *Integrator) Set(v int) { g.Add(v - int(g.level)) }
+
+// Level reports the instantaneous level.
+func (g *Integrator) Level() int { return int(g.level) }
+
+// Max reports the maximum level observed since the last Reset.
+func (g *Integrator) Max() int { return int(g.max) }
+
+// Avg reports the time-average level over the measurement window.
+func (g *Integrator) Avg() float64 {
+	g.settle()
+	dur := g.last - g.since
+	if dur <= 0 {
+		return float64(g.level)
+	}
+	return float64(g.area) / float64(dur)
+}
+
+// Reset starts a new measurement window at the current time, preserving the
+// instantaneous level.
+func (g *Integrator) Reset() {
+	g.settle()
+	g.area = 0
+	g.max = g.level
+	g.since = g.eng.Now()
+	g.last = g.eng.Now()
+}
+
+// Counter counts events over the measurement window and converts them to
+// rates.
+type Counter struct {
+	eng   *sim.Engine
+	n     uint64
+	since sim.Time
+}
+
+// NewCounter returns a zeroed counter.
+func NewCounter(eng *sim.Engine) *Counter {
+	return &Counter{eng: eng, since: eng.Now()}
+}
+
+// Inc adds one event.
+func (c *Counter) Inc() { c.n++ }
+
+// IncN adds n events.
+func (c *Counter) IncN(n int) { c.n += uint64(n) }
+
+// Count reports events since the last Reset.
+func (c *Counter) Count() uint64 { return c.n }
+
+// RatePerSecond reports events per simulated second over the window.
+func (c *Counter) RatePerSecond() float64 {
+	dur := c.eng.Now() - c.since
+	if dur <= 0 {
+		return 0
+	}
+	return float64(c.n) / dur.Seconds()
+}
+
+// BytesPerSecond treats each event as one 64-byte cacheline and reports the
+// implied bandwidth in bytes per simulated second.
+func (c *Counter) BytesPerSecond() float64 { return c.RatePerSecond() * 64 }
+
+// Reset starts a new window.
+func (c *Counter) Reset() { c.n = 0; c.since = c.eng.Now() }
+
+// Latency pairs an occupancy integrator with an arrival counter and reports
+// average latency via Little's law, exactly as the paper derives per-domain
+// latency from uncore O and R measurements.
+type Latency struct {
+	Occ *Integrator
+	Arr *Counter
+}
+
+// NewLatency returns a latency probe.
+func NewLatency(eng *sim.Engine) *Latency {
+	return &Latency{Occ: NewIntegrator(eng), Arr: NewCounter(eng)}
+}
+
+// Enter records a request entering the measured stage.
+func (l *Latency) Enter() { l.Occ.Add(1); l.Arr.Inc() }
+
+// Exit records a request leaving the measured stage.
+func (l *Latency) Exit() { l.Occ.Add(-1) }
+
+// AvgNanos reports the Little's-law average latency (O/R) in nanoseconds.
+func (l *Latency) AvgNanos() float64 {
+	rate := l.Arr.RatePerSecond() // requests per second
+	if rate == 0 {
+		return 0
+	}
+	return l.Occ.Avg() / rate * 1e9
+}
+
+// Reset starts a new window.
+func (l *Latency) Reset() { l.Occ.Reset(); l.Arr.Reset() }
+
+// FracTimer measures the fraction of window time a boolean condition holds
+// (e.g. "WPQ is full", "PFC pause asserted").
+type FracTimer struct {
+	eng     *sim.Engine
+	on      bool
+	onSince sim.Time
+	total   sim.Time
+	since   sim.Time
+}
+
+// NewFracTimer returns a timer with the condition initially false.
+func NewFracTimer(eng *sim.Engine) *FracTimer {
+	return &FracTimer{eng: eng, since: eng.Now()}
+}
+
+// Set updates the condition.
+func (f *FracTimer) Set(on bool) {
+	if on == f.on {
+		return
+	}
+	now := f.eng.Now()
+	if f.on {
+		f.total += now - f.onSince
+	} else {
+		f.onSince = now
+	}
+	f.on = on
+}
+
+// On reports the instantaneous condition.
+func (f *FracTimer) On() bool { return f.on }
+
+// Frac reports the fraction of the window the condition held, in [0, 1].
+func (f *FracTimer) Frac() float64 {
+	now := f.eng.Now()
+	total := f.total
+	if f.on {
+		total += now - f.onSince
+	}
+	dur := now - f.since
+	if dur <= 0 {
+		return 0
+	}
+	return float64(total) / float64(dur)
+}
+
+// Reset starts a new window, preserving the instantaneous condition.
+func (f *FracTimer) Reset() {
+	f.total = 0
+	f.since = f.eng.Now()
+	if f.on {
+		f.onSince = f.eng.Now()
+	}
+}
+
+// Samples accumulates scalar observations (e.g. per-window bank deviation)
+// and summarizes them as a CDF.
+type Samples struct {
+	xs []float64
+}
+
+// Add records one observation.
+func (s *Samples) Add(x float64) { s.xs = append(s.xs, x) }
+
+// Len reports the number of observations.
+func (s *Samples) Len() int { return len(s.xs) }
+
+// Reset discards all observations.
+func (s *Samples) Reset() { s.xs = s.xs[:0] }
+
+// Quantile reports the q-quantile (q in [0,1]) of the observations, or 0 if
+// none were recorded.
+func (s *Samples) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// FracAtLeast reports the fraction of observations >= x.
+func (s *Samples) FracAtLeast(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range s.xs {
+		if v >= x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.xs))
+}
+
+// Mean reports the arithmetic mean of the observations.
+func (s *Samples) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.xs {
+		sum += v
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Histogram accumulates latency observations in exponential buckets and
+// reports percentiles — the probe behind tail-latency measurements (the
+// paper's production studies report tail inflation; the simulator exposes
+// the same view per domain).
+type Histogram struct {
+	buckets []uint64 // bucket i covers [2^i, 2^(i+1)) nanoseconds
+	count   uint64
+	maxNs   float64
+}
+
+// NewHistogram returns an empty histogram covering 1 ns .. ~1 s.
+func NewHistogram() *Histogram { return &Histogram{buckets: make([]uint64, 30)} }
+
+// ObserveNs records one latency sample in nanoseconds.
+func (h *Histogram) ObserveNs(ns float64) {
+	if ns < 0 {
+		return
+	}
+	if ns > h.maxNs {
+		h.maxNs = ns
+	}
+	i := 0
+	v := ns
+	for v >= 2 && i < len(h.buckets)-1 {
+		v /= 2
+		i++
+	}
+	h.buckets[i]++
+	h.count++
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Max reports the largest observed sample.
+func (h *Histogram) Max() float64 { return h.maxNs }
+
+// PercentileNs reports an upper bound on the p-quantile (p in [0,1]) using
+// bucket upper edges; resolution is a factor of two.
+func (h *Histogram) PercentileNs(p float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(p * float64(h.count))
+	if target >= h.count {
+		return h.maxNs
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum > target {
+			edge := float64(uint64(1) << (i + 1)) // bucket upper edge
+			if edge > h.maxNs {
+				edge = h.maxNs
+			}
+			return edge
+		}
+	}
+	return h.maxNs
+}
+
+// Reset clears all samples.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.count = 0
+	h.maxNs = 0
+}

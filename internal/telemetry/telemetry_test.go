@@ -1,0 +1,276 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestIntegratorAvg(t *testing.T) {
+	eng := sim.New()
+	g := NewIntegrator(eng)
+	eng.At(0, func() { g.Set(2) })
+	eng.At(10, func() { g.Set(4) })
+	eng.At(30, func() { g.Set(0) })
+	eng.At(40, func() {})
+	eng.Run()
+	// levels: 2 for [0,10), 4 for [10,30), 0 for [30,40) => (20+80+0)/40 = 2.5
+	if got := g.Avg(); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("Avg = %v, want 2.5", got)
+	}
+	if g.Max() != 4 {
+		t.Fatalf("Max = %d, want 4", g.Max())
+	}
+}
+
+func TestIntegratorResetPreservesLevel(t *testing.T) {
+	eng := sim.New()
+	g := NewIntegrator(eng)
+	eng.At(0, func() { g.Set(3) })
+	eng.At(10, func() { g.Reset() })
+	eng.At(20, func() {})
+	eng.Run()
+	if got := g.Avg(); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("Avg after reset = %v, want 3", got)
+	}
+	if g.Level() != 3 {
+		t.Fatalf("Level = %d, want 3", g.Level())
+	}
+}
+
+func TestIntegratorNegativePanics(t *testing.T) {
+	eng := sim.New()
+	g := NewIntegrator(eng)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("negative level did not panic")
+		}
+	}()
+	g.Add(-1)
+}
+
+func TestCounterRate(t *testing.T) {
+	eng := sim.New()
+	c := NewCounter(eng)
+	eng.At(sim.Microsecond, func() { c.IncN(1000) })
+	eng.Run()
+	// 1000 events in 1us = 1e9 events/s
+	if got := c.RatePerSecond(); math.Abs(got-1e9) > 1 {
+		t.Fatalf("rate = %v, want 1e9", got)
+	}
+	if got := c.BytesPerSecond(); math.Abs(got-64e9) > 64 {
+		t.Fatalf("bytes/s = %v, want 64e9", got)
+	}
+}
+
+func TestCounterReset(t *testing.T) {
+	eng := sim.New()
+	c := NewCounter(eng)
+	eng.At(10, func() { c.Inc(); c.Reset() })
+	eng.At(20, func() { c.Inc() })
+	eng.Run()
+	if c.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", c.Count())
+	}
+}
+
+// Little's law identity: if N requests each spend exactly d in the stage and
+// arrivals are spread over the window, measured latency = d.
+func TestLatencyLittlesLaw(t *testing.T) {
+	eng := sim.New()
+	l := NewLatency(eng)
+	const d = 70 * sim.Nanosecond
+	for i := 0; i < 100; i++ {
+		at := sim.Time(i) * 10 * sim.Nanosecond
+		eng.At(at, func() { l.Enter() })
+		eng.At(at+d, func() { l.Exit() })
+	}
+	eng.Run()
+	if got := l.AvgNanos(); math.Abs(got-70) > 0.5 {
+		t.Fatalf("AvgNanos = %v, want ~70", got)
+	}
+}
+
+// Property: for random per-request residencies, Little's-law latency equals
+// the true mean residency (the window covers all activity exactly).
+func TestLatencyMatchesMeanResidencyProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		eng := sim.New()
+		l := NewLatency(eng)
+		var sum float64
+		for i, r := range raw {
+			d := sim.Time(int(r)+1) * sim.Nanosecond
+			at := sim.Time(i) * 5 * sim.Nanosecond
+			sum += d.Nanoseconds()
+			eng.At(at, func() { l.Enter() })
+			eng.At(at+d, func() { l.Exit() })
+		}
+		eng.Run()
+		want := sum / float64(len(raw))
+		got := l.AvgNanos()
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFracTimer(t *testing.T) {
+	eng := sim.New()
+	f := NewFracTimer(eng)
+	eng.At(0, func() { f.Set(true) })
+	eng.At(25, func() { f.Set(false) })
+	eng.At(50, func() { f.Set(true) })
+	eng.At(75, func() { f.Set(false) })
+	eng.At(100, func() {})
+	eng.Run()
+	if got := f.Frac(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Frac = %v, want 0.5", got)
+	}
+}
+
+func TestFracTimerOpenInterval(t *testing.T) {
+	eng := sim.New()
+	f := NewFracTimer(eng)
+	eng.At(50, func() { f.Set(true) })
+	eng.At(100, func() {})
+	eng.Run()
+	if got := f.Frac(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Frac with condition still on = %v, want 0.5", got)
+	}
+	if !f.On() {
+		t.Fatalf("On = false, want true")
+	}
+}
+
+func TestFracTimerIdempotentSet(t *testing.T) {
+	eng := sim.New()
+	f := NewFracTimer(eng)
+	eng.At(0, func() { f.Set(true); f.Set(true) })
+	eng.At(10, func() { f.Set(false); f.Set(false) })
+	eng.At(20, func() {})
+	eng.Run()
+	if got := f.Frac(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Frac = %v, want 0.5", got)
+	}
+}
+
+func TestFracTimerResetWhileOn(t *testing.T) {
+	eng := sim.New()
+	f := NewFracTimer(eng)
+	eng.At(0, func() { f.Set(true) })
+	eng.At(10, func() { f.Reset() })
+	eng.At(20, func() {})
+	eng.Run()
+	if got := f.Frac(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("Frac after reset while on = %v, want 1.0", got)
+	}
+}
+
+func TestSamplesQuantiles(t *testing.T) {
+	var s Samples
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("q1 = %v", got)
+	}
+	med := s.Quantile(0.5)
+	if med < 49 || med > 52 {
+		t.Fatalf("median = %v", med)
+	}
+	if got := s.FracAtLeast(51); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("FracAtLeast(51) = %v, want 0.5", got)
+	}
+	if got := s.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("Mean = %v, want 50.5", got)
+	}
+}
+
+func TestSamplesEmpty(t *testing.T) {
+	var s Samples
+	if s.Quantile(0.5) != 0 || s.FracAtLeast(1) != 0 || s.Mean() != 0 || s.Len() != 0 {
+		t.Fatalf("empty Samples should report zeros")
+	}
+}
+
+func TestSamplesReset(t *testing.T) {
+	var s Samples
+	s.Add(5)
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len after reset = %d", s.Len())
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	// 90 fast samples at ~70ns, 10 slow at ~1000ns.
+	for i := 0; i < 90; i++ {
+		h.ObserveNs(70)
+	}
+	for i := 0; i < 10; i++ {
+		h.ObserveNs(1000)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.PercentileNs(0.5)
+	if p50 < 70 || p50 > 128 {
+		t.Fatalf("p50 = %v, want the ~70ns bucket", p50)
+	}
+	p99 := h.PercentileNs(0.99)
+	if p99 < 512 {
+		t.Fatalf("p99 = %v, want the ~1000ns bucket", p99)
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %v", h.Max())
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	if h.PercentileNs(0.99) != 0 {
+		t.Fatalf("empty histogram percentile nonzero")
+	}
+	h.ObserveNs(-5) // ignored
+	if h.Count() != 0 {
+		t.Fatalf("negative sample counted")
+	}
+	h.ObserveNs(0.5)
+	h.ObserveNs(1e12) // clamps to the top bucket
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.PercentileNs(1.0); got != 1e12 {
+		t.Fatalf("p100 = %v, want max", got)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatalf("reset incomplete")
+	}
+}
+
+func TestHistogramMonotonePercentilesProperty(t *testing.T) {
+	h := NewHistogram()
+	r := sim.RNG(5)
+	for i := 0; i < 1000; i++ {
+		h.ObserveNs(float64(r.IntN(10000)) + 1)
+	}
+	prev := 0.0
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+		v := h.PercentileNs(p)
+		if v < prev {
+			t.Fatalf("percentiles not monotone: p%.2f=%v after %v", p, v, prev)
+		}
+		prev = v
+	}
+}

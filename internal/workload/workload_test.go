@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestSeqReadSequentialAndWrapping(t *testing.T) {
+	g := NewSeqRead(1<<30, 4*mem.LineSize)
+	var addrs []mem.Addr
+	for i := 0; i < 8; i++ {
+		acc, at, ok := g.Poll(0)
+		if !ok || at != 0 {
+			t.Fatalf("SeqRead must always be ready")
+		}
+		if acc.Kind != mem.Read {
+			t.Fatalf("kind = %v", acc.Kind)
+		}
+		addrs = append(addrs, acc.Addr)
+	}
+	for i, a := range addrs {
+		want := mem.Addr(1<<30) + mem.Addr((i%4)*mem.LineSize)
+		if a != want {
+			t.Fatalf("addr[%d] = %#x, want %#x", i, a, want)
+		}
+	}
+}
+
+func TestSeqReadWriteMixIs5050(t *testing.T) {
+	g := NewSeqReadWrite(0, 1<<20)
+	reads, writes := 0, 0
+	for i := 0; i < 2000; i++ {
+		acc, _, ok := g.Poll(0)
+		if !ok {
+			t.Fatalf("generator blocked")
+		}
+		if acc.Kind == mem.Read {
+			reads++
+			g.OnComplete(acc, 0) // completing the RFO queues a writeback
+		} else {
+			writes++
+		}
+	}
+	frac := float64(writes) / float64(reads+writes)
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("write fraction %.2f, want ~0.5", frac)
+	}
+}
+
+func TestSeqReadWriteWritebackLag(t *testing.T) {
+	g := NewSeqReadWrite(1<<30, 1<<20)
+	acc, _, _ := g.Poll(0)
+	g.OnComplete(acc, 0)
+	wb, _, ok := g.Poll(0)
+	if !ok || wb.Kind != mem.Write {
+		t.Fatalf("expected queued writeback, got %+v ok=%v", wb, ok)
+	}
+	// Lag wraps within the buffer.
+	wantOff := int64(0) - g.EvictLagLines*mem.LineSize + 1<<20
+	if int64(wb.Addr-1<<30) != wantOff {
+		t.Fatalf("writeback offset %d, want %d", int64(wb.Addr-1<<30), wantOff)
+	}
+}
+
+func TestSeqReadWriteOnlyReadsQueueWritebacks(t *testing.T) {
+	g := NewSeqReadWrite(0, 1<<20)
+	g.OnComplete(cpu.Access{Addr: 0, Kind: mem.Write}, 0)
+	acc, _, _ := g.Poll(0)
+	if acc.Kind != mem.Read {
+		t.Fatalf("write completion must not queue a writeback")
+	}
+}
+
+func TestRandReadWithinBufferProperty(t *testing.T) {
+	g := NewRandRead(1<<30, 1<<26, 42)
+	f := func(uint8) bool {
+		acc, _, ok := g.Poll(0)
+		return ok && acc.Kind == mem.Read &&
+			acc.Addr >= 1<<30 && acc.Addr < 1<<30+1<<26 &&
+			uint64(acc.Addr)%mem.LineSize == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandReadDeterministicBySeed(t *testing.T) {
+	a := NewRandRead(0, 1<<26, 7)
+	b := NewRandRead(0, 1<<26, 7)
+	for i := 0; i < 100; i++ {
+		x, _, _ := a.Poll(0)
+		y, _, _ := b.Poll(0)
+		if x != y {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+}
+
+func TestRandReadSpreadsRows(t *testing.T) {
+	g := NewRandRead(0, 5<<30, 1)
+	rows := map[mem.Addr]bool{}
+	for i := 0; i < 500; i++ {
+		acc, _, _ := g.Poll(0)
+		rows[acc.Addr/8192] = true
+	}
+	if len(rows) < 400 {
+		t.Fatalf("random reads hit only %d distinct rows in 500 draws", len(rows))
+	}
+}
+
+func TestMixWriteFraction(t *testing.T) {
+	g := NewMix(0, 1<<26, 0.2, 0, 3)
+	writes := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		acc, _, ok := g.Poll(0)
+		if !ok {
+			t.Fatalf("mix blocked")
+		}
+		if acc.Kind == mem.Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if frac < 0.17 || frac > 0.23 {
+		t.Fatalf("write fraction %.3f, want ~0.2", frac)
+	}
+}
+
+func TestMixComputeGap(t *testing.T) {
+	g := NewMix(0, 1<<26, 0, 10*sim.Nanosecond, 3)
+	if _, _, ok := g.Poll(0); !ok {
+		t.Fatalf("first poll should produce")
+	}
+	_, at, ok := g.Poll(0)
+	if !ok || at != 10*sim.Nanosecond {
+		t.Fatalf("second poll at=%v ok=%v, want retry at 10ns", at, ok)
+	}
+	if _, at2, _ := g.Poll(10 * sim.Nanosecond); at2 != 10*sim.Nanosecond {
+		t.Fatalf("poll at gap boundary should produce immediately, got at=%v", at2)
+	}
+}
+
+func TestSeqMixWriteFraction(t *testing.T) {
+	for _, frac := range []float64{0, 0.25, 1.0} {
+		g := NewSeqMix(0, 1<<20, frac, 3)
+		reads, writes := 0, 0
+		for i := 0; i < 4000; i++ {
+			acc, _, ok := g.Poll(0)
+			if !ok {
+				t.Fatalf("SeqMix blocked")
+			}
+			if acc.Kind == mem.Read {
+				reads++
+				g.OnComplete(acc, 0)
+			} else {
+				writes++
+			}
+		}
+		got := float64(writes) / float64(reads)
+		want := frac // one writeback per stored line: writes/reads = frac
+		if got < want-0.06 || got > want+0.06 {
+			t.Fatalf("frac=%.2f: writes/reads = %.3f", frac, got)
+		}
+	}
+}
+
+func TestSeqMixExtremesMatchSpecializedGenerators(t *testing.T) {
+	// frac=0 behaves like SeqRead (no writes at all).
+	g := NewSeqMix(0, 1<<20, 0, 3)
+	for i := 0; i < 500; i++ {
+		acc, _, _ := g.Poll(0)
+		if acc.Kind != mem.Read {
+			t.Fatalf("frac=0 produced a write")
+		}
+		g.OnComplete(acc, 0)
+	}
+}
