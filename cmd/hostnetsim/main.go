@@ -9,17 +9,20 @@
 // fig13, fig14, fig15, fig16, fig17, fig18, fig19, fig23, fig27, fig29,
 // domains, all.
 //
-// Flags:
+// Flags (accepted before or after the experiment names):
 //
 //	-window   measurement window (default 100us; larger = smoother numbers)
 //	-warmup   warmup before measuring (default 20us)
 //	-ddio     enable DDIO for the quadrant experiments
+//	-parallel worker-pool size for multi-point sweeps (0 = one per CPU,
+//	          1 = serial); results are bit-identical at any setting
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/hostnet"
@@ -32,13 +35,15 @@ func main() {
 	warmup := flag.Duration("warmup", 20*time.Microsecond, "warmup before measuring (simulated)")
 	ddio := flag.Bool("ddio", false, "enable DDIO in quadrant experiments")
 	csvOut := flag.Bool("csv", false, "emit quadrant experiments as CSV instead of tables")
-	flag.Parse()
+	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	flag.CommandLine.Parse(reorderArgs(os.Args[1:]))
 	emitCSV = *csvOut
 
 	opt := hostnet.DefaultOptions()
 	opt.Window = sim.Time(window.Nanoseconds()) * sim.Nanosecond
 	opt.Warmup = sim.Time(warmup.Nanoseconds()) * sim.Nanosecond
 	opt.DDIO = *ddio
+	opt.Parallelism = *parallel
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -210,4 +215,32 @@ func head(xs []int, n int) []int {
 		return xs[:n]
 	}
 	return xs
+}
+
+// boolFlags are the flags that take no value argument; every other flag
+// consumes the following token when written as "-flag value".
+var boolFlags = map[string]bool{"ddio": true, "csv": true}
+
+// reorderArgs moves flag tokens ahead of experiment names so that
+// "hostnetsim fig3 -parallel 8" works; the standard flag package stops
+// parsing at the first positional argument.
+func reorderArgs(args []string) []string {
+	var flags, pos []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if !strings.HasPrefix(a, "-") || a == "-" || a == "--" {
+			pos = append(pos, a)
+			continue
+		}
+		flags = append(flags, a)
+		name := strings.TrimLeft(a, "-")
+		if eq := strings.IndexByte(name, '='); eq >= 0 {
+			continue // -flag=value is self-contained
+		}
+		if !boolFlags[name] && i+1 < len(args) {
+			i++
+			flags = append(flags, args[i])
+		}
+	}
+	return append(flags, pos...)
 }

@@ -205,8 +205,20 @@ func Explain(d Domain, loaded, unloaded Measurement) string {
 }
 
 // DefaultOptions returns the experiment defaults (Cascade Lake, DDIO off,
-// 20 us warmup, 100 us window).
+// 20 us warmup, 100 us window). Multi-point sweeps run on a worker pool
+// sized by Options.Parallelism (default 0 = one worker per CPU); every
+// sweep point builds its own Host and engine, so results are bit-identical
+// at any parallelism — see WithParallelism.
 func DefaultOptions() Options { return exp.Defaults() }
+
+// WithParallelism returns opt with the sweep worker pool bounded to n
+// workers: 1 forces serial execution, 0 restores the one-per-CPU default.
+// Parallel and serial runs of the same experiment produce byte-identical
+// output (the determinism tests in internal/exp pin this).
+func WithParallelism(opt Options, n int) Options {
+	opt.Parallelism = n
+	return opt
+}
 
 // Experiment entry points, one per paper artifact. Each returns structured
 // results; the matching Render* helper prints the same rows the paper

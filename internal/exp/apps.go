@@ -96,31 +96,39 @@ func (p AppPoint) String() string {
 		p.AppDegradation(), p.P2MDegradation())
 }
 
-// RunAppColocation sweeps core counts for one app against one FIO direction.
+// RunAppColocation sweeps core counts for one app against one FIO direction;
+// the device baseline and the per-count points run on the options' pool.
 func RunAppColocation(a App, dir periph.Direction, coreCounts []int, opt Options) []AppPoint {
-	// Device baseline.
-	devIso := opt.newHost()
-	devIso.AddStorage(periph.BulkConfig(dir, devIso.Region(1<<30)))
-	devIso.Run(opt.Warmup, opt.Window)
-	p2mIso := devIso.P2MBW()
-	p2mIsoM := snapshot(devIso)
+	// Device baseline, independent of the app core count.
+	var p2mIso float64
+	pts := make([]AppPoint, len(coreCounts))
+	tasks := make([]func(), 0, len(coreCounts)+1)
+	tasks = append(tasks, func() {
+		devIso := opt.newHost()
+		devIso.AddStorage(periph.BulkConfig(dir, devIso.Region(1<<30)))
+		devIso.Run(opt.Warmup, opt.Window)
+		p2mIso = devIso.P2MBW()
+	})
+	for idx, n := range coreCounts {
+		tasks = append(tasks, func() {
+			p := AppPoint{App: a, Cores: n, DDIO: opt.DDIO}
+			iso, metric := appHost(a, n, opt)
+			iso.Run(opt.Warmup, opt.Window)
+			p.AppIso = metric()
+			p.Iso = snapshot(iso)
 
-	var pts []AppPoint
-	for _, n := range coreCounts {
-		p := AppPoint{App: a, Cores: n, DDIO: opt.DDIO, P2MIso: p2mIso}
-		iso, metric := appHost(a, n, opt)
-		iso.Run(opt.Warmup, opt.Window)
-		p.AppIso = metric()
-		p.Iso = snapshot(iso)
-
-		co, coMetric := appHost(a, n, opt)
-		co.AddStorage(periph.BulkConfig(dir, co.Region(1<<30)))
-		co.Run(opt.Warmup, opt.Window)
-		p.AppCo = coMetric()
-		p.P2MCo = co.P2MBW()
-		p.Co = snapshot(co)
-		_ = p2mIsoM
-		pts = append(pts, p)
+			co, coMetric := appHost(a, n, opt)
+			co.AddStorage(periph.BulkConfig(dir, co.Region(1<<30)))
+			co.Run(opt.Warmup, opt.Window)
+			p.AppCo = coMetric()
+			p.P2MCo = co.P2MBW()
+			p.Co = snapshot(co)
+			pts[idx] = p
+		})
+	}
+	pdo(opt, tasks...)
+	for i := range pts {
+		pts[i].P2MIso = p2mIso
 	}
 	return pts
 }
@@ -141,10 +149,12 @@ func RunFig1(window sim.Time) Fig1Result {
 		Window: window,
 	}
 	cores := []int{2, 4, 8, 16, 24, 28}
-	return Fig1Result{
-		Redis: RunAppColocation(RedisRead, periph.DMAWrite, cores, opt),
-		GAPBS: RunAppColocation(GAPBSPR, periph.DMAWrite, cores, opt),
-	}
+	var res Fig1Result
+	pdo(opt,
+		func() { res.Redis = RunAppColocation(RedisRead, periph.DMAWrite, cores, opt) },
+		func() { res.GAPBS = RunAppColocation(GAPBSPR, periph.DMAWrite, cores, opt) },
+	)
+	return res
 }
 
 // Fig2Result pairs DDIO-on and DDIO-off sweeps (Fig 2 a-d, Cascade Lake).
@@ -162,12 +172,14 @@ func RunFig2(window sim.Time) Fig2Result {
 	off := Defaults()
 	off.Window = window
 	cores := []int{1, 2, 3, 4, 5, 6}
-	return Fig2Result{
-		RedisOn:  RunAppColocation(RedisRead, periph.DMAWrite, cores, on),
-		RedisOff: RunAppColocation(RedisRead, periph.DMAWrite, cores, off),
-		GAPBSOn:  RunAppColocation(GAPBSPR, periph.DMAWrite, cores, on),
-		GAPBSOff: RunAppColocation(GAPBSPR, periph.DMAWrite, cores, off),
-	}
+	var res Fig2Result
+	pdo(on,
+		func() { res.RedisOn = RunAppColocation(RedisRead, periph.DMAWrite, cores, on) },
+		func() { res.RedisOff = RunAppColocation(RedisRead, periph.DMAWrite, cores, off) },
+		func() { res.GAPBSOn = RunAppColocation(GAPBSPR, periph.DMAWrite, cores, on) },
+		func() { res.GAPBSOff = RunAppColocation(GAPBSPR, periph.DMAWrite, cores, off) },
+	)
+	return res
 }
 
 // AppGridResult is one Appendix B figure: two apps x DDIO on/off against a
@@ -185,13 +197,14 @@ func runAppGrid(fig string, redis, gapbs App, dir periph.Direction, window sim.T
 	off := Defaults()
 	off.Window = window
 	cores := []int{1, 2, 4, 6}
-	return AppGridResult{
-		Fig:      fig,
-		RedisOn:  RunAppColocation(redis, dir, cores, on),
-		RedisOff: RunAppColocation(redis, dir, cores, off),
-		GAPBSOn:  RunAppColocation(gapbs, dir, cores, on),
-		GAPBSOff: RunAppColocation(gapbs, dir, cores, off),
-	}
+	res := AppGridResult{Fig: fig}
+	pdo(on,
+		func() { res.RedisOn = RunAppColocation(redis, dir, cores, on) },
+		func() { res.RedisOff = RunAppColocation(redis, dir, cores, off) },
+		func() { res.GAPBSOn = RunAppColocation(gapbs, dir, cores, on) },
+		func() { res.GAPBSOff = RunAppColocation(gapbs, dir, cores, off) },
+	)
+	return res
 }
 
 // RunFig15 reproduces Appendix B Fig 15: Redis-Write and GAPBS-BC colocated

@@ -22,6 +22,12 @@ type Options struct {
 	// P2MCores is informational parity with the paper's core partitioning
 	// (the device model needs no host cores).
 	P2MCores int
+	// Parallelism bounds the worker pool every multi-point sweep runs on:
+	// N >= 1 uses N workers (1 = serial), and 0 (the default) uses one
+	// worker per available CPU (GOMAXPROCS). Each sweep point builds its
+	// own host and engine, so results are bit-identical at any setting —
+	// pinned by TestParallelDeterminism*.
+	Parallelism int
 }
 
 // Defaults returns the options used throughout §2.2/§5/§6: Cascade Lake,

@@ -103,13 +103,20 @@ func capAt(est, cap float64) float64 {
 
 // RunFig11 validates the formula on every quadrant point (Fig 11), returning
 // points grouped per quadrant. The same points carry the Fig 12 breakdowns.
+// The four quadrant sweeps run in parallel.
 func RunFig11(opt Options) map[Quadrant][]FormulaPoint {
-	out := make(map[Quadrant][]FormulaPoint, 4)
-	for _, q := range []Quadrant{Q1, Q2, Q3, Q4} {
-		pts := RunQuadrant(q, DefaultCoreSweep(), opt)
+	quads := []Quadrant{Q1, Q2, Q3, Q4}
+	series := pmap(opt, len(quads), func(i int) []FormulaPoint {
+		pts := RunQuadrant(quads[i], DefaultCoreSweep(), opt)
+		fps := make([]FormulaPoint, 0, len(pts))
 		for _, p := range pts {
-			out[q] = append(out[q], ValidateFormula(p, opt))
+			fps = append(fps, ValidateFormula(p, opt))
 		}
+		return fps
+	})
+	out := make(map[Quadrant][]FormulaPoint, len(quads))
+	for i, q := range quads {
+		out[q] = series[i]
 	}
 	return out
 }

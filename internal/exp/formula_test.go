@@ -9,7 +9,7 @@ import (
 // quadrants. (The paper reports <10% on hardware; we allow modest slack for
 // the simulated substrate.)
 func TestFormulaAccuracyBlueQuadrants(t *testing.T) {
-	opt := Defaults()
+	opt := figOptions(t)
 	for _, q := range []Quadrant{Q1, Q2, Q4} {
 		pts := RunQuadrant(q, []int{1, 2, 4, 6}, opt)
 		for _, p := range pts {
@@ -32,7 +32,7 @@ func TestFormulaAccuracyBlueQuadrants(t *testing.T) {
 // Fig 11 (bottom): quadrant 3 error is within bounds at low load; at high
 // load the CHA admission correction must tighten the estimate.
 func TestFormulaQuadrant3WithCHACorrection(t *testing.T) {
-	opt := Defaults()
+	opt := figOptions(t)
 	pts := RunQuadrant(Q3, DefaultCoreSweep(), opt)
 	for _, p := range pts {
 		f := ValidateFormula(p, opt)
@@ -65,7 +65,7 @@ func TestFormulaQuadrant3WithCHACorrection(t *testing.T) {
 // Fig 12: component shapes. In quadrant 1 WriteHoL dominates at 1 core; in
 // quadrant 2 there is no WriteHoL (no writes at all).
 func TestFormulaBreakdownShapes(t *testing.T) {
-	opt := Defaults()
+	opt := figOptions(t)
 	p1 := RunQuadrantPoint(Q1, 1, opt)
 	f1 := ValidateFormula(p1, opt)
 	b := f1.C2MBreakdown

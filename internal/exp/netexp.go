@@ -31,58 +31,72 @@ type RDMAQuadrantPoint struct {
 }
 
 // RunRDMAQuadrant mirrors RunQuadrant with NIC-generated P2M traffic
-// (Fig 18, with the probes of Figs 20-22/24 in the Measure snapshots).
+// (Fig 18, with the probes of Figs 20-22/24 in the Measure snapshots). The
+// NIC-only baseline and the per-count points run on the options' pool.
 func RunRDMAQuadrant(q Quadrant, coreCounts []int, opt Options) []RDMAQuadrantPoint {
 	// NIC-only baseline.
-	p2m := opt.newHost()
-	nicBW, _, nicReset := addRDMADevice(p2m, q)
-	p2m.Eng.RunUntil(opt.Warmup)
-	p2m.ResetStats()
-	nicReset()
-	p2m.Eng.RunUntil(opt.Warmup + opt.Window)
-	p2mIso := snapshot(p2m)
-	p2mIso.P2MBW = nicBW()
+	var p2mIso Measure
+	pts := make([]RDMAQuadrantPoint, len(coreCounts))
+	tasks := make([]func(), 0, len(coreCounts)+1)
+	tasks = append(tasks, func() {
+		p2m := opt.newHost()
+		nicBW, _, nicReset := addRDMADevice(p2m, q)
+		p2m.Eng.RunUntil(opt.Warmup)
+		p2m.ResetStats()
+		nicReset()
+		p2m.Eng.RunUntil(opt.Warmup + opt.Window)
+		p2mIso = snapshot(p2m)
+		p2mIso.P2MBW = nicBW()
+	})
+	for idx, n := range coreCounts {
+		tasks = append(tasks, func() {
+			var p RDMAQuadrantPoint
+			p.Quadrant, p.Cores = q, n
 
-	var pts []RDMAQuadrantPoint
-	for _, n := range coreCounts {
-		var p RDMAQuadrantPoint
-		p.Quadrant, p.Cores, p.P2MIso = q, n, p2mIso
+			iso := opt.newHost()
+			addC2MCores(iso, q, n)
+			iso.Run(opt.Warmup, opt.Window)
+			p.C2MIso = snapshot(iso)
 
-		iso := opt.newHost()
-		addC2MCores(iso, q, n)
-		iso.Run(opt.Warmup, opt.Window)
-		p.C2MIso = snapshot(iso)
-
-		co := opt.newHost()
-		addC2MCores(co, q, n)
-		coBW, coPause, coReset := addRDMADevice(co, q)
-		co.Eng.RunUntil(opt.Warmup)
-		co.ResetStats()
-		coReset()
-		// Microsecond-scale IIO occupancy sampling (Fig 23).
-		stop := co.Eng.Now() + opt.Window
-		var sample func()
-		sample = func() {
-			p.IIOOccSamples = append(p.IIOOccSamples, co.IIO.Stats().WriteOcc.Level())
-			if co.Eng.Now()+sim.Microsecond <= stop {
-				co.Eng.After(sim.Microsecond, sample)
+			co := opt.newHost()
+			addC2MCores(co, q, n)
+			coBW, coPause, coReset := addRDMADevice(co, q)
+			co.Eng.RunUntil(opt.Warmup)
+			co.ResetStats()
+			coReset()
+			// Microsecond-scale IIO occupancy sampling (Fig 23).
+			stop := co.Eng.Now() + opt.Window
+			var sample func()
+			sample = func() {
+				p.IIOOccSamples = append(p.IIOOccSamples, co.IIO.Stats().WriteOcc.Level())
+				if co.Eng.Now()+sim.Microsecond <= stop {
+					co.Eng.After(sim.Microsecond, sample)
+				}
 			}
-		}
-		co.Eng.After(sim.Microsecond, sample)
-		co.Eng.RunUntil(stop)
-		p.Co = snapshot(co)
-		p.Co.P2MBW = coBW()
-		p.PauseFrac = coPause()
-		pts = append(pts, p)
+			co.Eng.After(sim.Microsecond, sample)
+			co.Eng.RunUntil(stop)
+			p.Co = snapshot(co)
+			p.Co.P2MBW = coBW()
+			p.PauseFrac = coPause()
+			pts[idx] = p
+		})
+	}
+	pdo(opt, tasks...)
+	for i := range pts {
+		pts[i].P2MIso = p2mIso
 	}
 	return pts
 }
 
-// RunFig18 runs all four RDMA quadrants.
+// RunFig18 runs all four RDMA quadrants in parallel.
 func RunFig18(opt Options) map[Quadrant][]RDMAQuadrantPoint {
-	out := make(map[Quadrant][]RDMAQuadrantPoint, 4)
-	for _, q := range []Quadrant{Q1, Q2, Q3, Q4} {
-		out[q] = RunRDMAQuadrant(q, DefaultCoreSweep(), opt)
+	quads := []Quadrant{Q1, Q2, Q3, Q4}
+	series := pmap(opt, len(quads), func(i int) []RDMAQuadrantPoint {
+		return RunRDMAQuadrant(quads[i], DefaultCoreSweep(), opt)
+	})
+	out := make(map[Quadrant][]RDMAQuadrantPoint, len(quads))
+	for i, q := range quads {
+		out[q] = series[i]
 	}
 	return out
 }
@@ -154,56 +168,71 @@ func memAppBW(h *host.Host, flows int) float64 {
 // (Fig 19; probes for Figs 25/26 ride along in Co).
 func RunDCTCP(readWrite bool, coreCounts []int, opt Options) []DCTCPPoint {
 	// Network-only baseline.
-	nIso, rxIso := dctcpHost(opt, 0, readWrite)
-	nIso.Eng.RunUntil(opt.Warmup * 4) // DCTCP needs RTTs to converge
-	nIso.ResetStats()
-	rxIso.ResetStats()
-	nIso.Eng.RunUntil(nIso.Eng.Now() + opt.Window)
-	netIso := rxIso.GoodputBytesPerSec()
-	netIsoP2MLat := snapshot(nIso).P2MWriteLat
+	var netIso, netIsoP2MLat float64
+	pts := make([]DCTCPPoint, len(coreCounts))
+	tasks := make([]func(), 0, len(coreCounts)+1)
+	tasks = append(tasks, func() {
+		nIso, rxIso := dctcpHost(opt, 0, readWrite)
+		nIso.Eng.RunUntil(opt.Warmup * 4) // DCTCP needs RTTs to converge
+		nIso.ResetStats()
+		rxIso.ResetStats()
+		nIso.Eng.RunUntil(nIso.Eng.Now() + opt.Window)
+		netIso = rxIso.GoodputBytesPerSec()
+		netIsoP2MLat = snapshot(nIso).P2MWriteLat
+	})
+	for idx, n := range coreCounts {
+		tasks = append(tasks, func() {
+			p := DCTCPPoint{C2MCores: n, ReadWrite: readWrite}
 
-	var pts []DCTCPPoint
-	for _, n := range coreCounts {
-		p := DCTCPPoint{C2MCores: n, ReadWrite: readWrite, NetIso: netIso, NetIsoP2MLat: netIsoP2MLat}
-
-		iso := opt.newHost()
-		for i := 0; i < n; i++ {
-			base := iso.Region(1 << 30)
-			if readWrite {
-				iso.AddCore(workload.NewSeqReadWrite(base, 1<<30))
-			} else {
-				iso.AddCore(workload.NewSeqRead(base, 1<<30))
+			iso := opt.newHost()
+			for i := 0; i < n; i++ {
+				base := iso.Region(1 << 30)
+				if readWrite {
+					iso.AddCore(workload.NewSeqReadWrite(base, 1<<30))
+				} else {
+					iso.AddCore(workload.NewSeqRead(base, 1<<30))
+				}
 			}
-		}
-		iso.Run(opt.Warmup, opt.Window)
-		p.MemAppIso = iso.C2MBW()
-		p.MemIso = snapshot(iso)
+			iso.Run(opt.Warmup, opt.Window)
+			p.MemAppIso = iso.C2MBW()
+			p.MemIso = snapshot(iso)
 
-		co, rx := dctcpHost(opt, n, readWrite)
-		co.Eng.RunUntil(opt.Warmup * 4)
-		co.ResetStats()
-		rx.ResetStats()
-		co.Eng.RunUntil(co.Eng.Now() + opt.Window)
-		flows := netsim.DefaultDCTCPConfig(0).Flows
-		p.MemAppCo = memAppBW(co, flows)
-		for i := 0; i < flows && i < len(co.Cores); i++ {
-			st := co.Cores[i].Stats()
-			p.CopierLFBOcc += st.LFBOcc.Avg()
-			p.CopierC2MBW += st.ReadBytesPerSec() + st.WriteBytesPerSec()
-		}
-		p.NetCo = rx.GoodputBytesPerSec()
-		p.P2MCo = rx.P2MBytesPerSec()
-		p.LossRate = rx.LossRate()
-		p.Co = snapshot(co)
-		p.Co.P2MBW = p.P2MCo
-		pts = append(pts, p)
+			co, rx := dctcpHost(opt, n, readWrite)
+			co.Eng.RunUntil(opt.Warmup * 4)
+			co.ResetStats()
+			rx.ResetStats()
+			co.Eng.RunUntil(co.Eng.Now() + opt.Window)
+			flows := netsim.DefaultDCTCPConfig(0).Flows
+			p.MemAppCo = memAppBW(co, flows)
+			for i := 0; i < flows && i < len(co.Cores); i++ {
+				st := co.Cores[i].Stats()
+				p.CopierLFBOcc += st.LFBOcc.Avg()
+				p.CopierC2MBW += st.ReadBytesPerSec() + st.WriteBytesPerSec()
+			}
+			p.NetCo = rx.GoodputBytesPerSec()
+			p.P2MCo = rx.P2MBytesPerSec()
+			p.LossRate = rx.LossRate()
+			p.Co = snapshot(co)
+			p.Co.P2MBW = p.P2MCo
+			pts[idx] = p
+		})
+	}
+	pdo(opt, tasks...)
+	for i := range pts {
+		pts[i].NetIso = netIso
+		pts[i].NetIsoP2MLat = netIsoP2MLat
 	}
 	return pts
 }
 
-// RunFig19 runs both TCP case studies: C2M-Read + TCP Rx and C2M-ReadWrite
-// + TCP Rx, sweeping 1-4 memory-app cores (4 cores are dedicated to iperf).
+// RunFig19 runs both TCP case studies in parallel: C2M-Read + TCP Rx and
+// C2M-ReadWrite + TCP Rx, sweeping 1-4 memory-app cores (4 cores are
+// dedicated to iperf).
 func RunFig19(opt Options) (read, readWrite []DCTCPPoint) {
 	cores := []int{1, 2, 3, 4}
-	return RunDCTCP(false, cores, opt), RunDCTCP(true, cores, opt)
+	pdo(opt,
+		func() { read = RunDCTCP(false, cores, opt) },
+		func() { readWrite = RunDCTCP(true, cores, opt) },
+	)
+	return read, readWrite
 }

@@ -7,14 +7,20 @@ import (
 
 // RunFig27 applies the §6 formula to the RDMA case study (Fig 27, with the
 // Fig 28 breakdowns inside each point): the same methodology as Fig 11,
-// with NIC-generated P2M traffic.
+// with NIC-generated P2M traffic. The four quadrant sweeps run in parallel.
 func RunFig27(opt Options) map[Quadrant][]FormulaPoint {
-	out := make(map[Quadrant][]FormulaPoint, 4)
-	for _, q := range []Quadrant{Q1, Q2, Q3, Q4} {
-		pts := RunRDMAQuadrant(q, DefaultCoreSweep(), opt)
+	quads := []Quadrant{Q1, Q2, Q3, Q4}
+	series := pmap(opt, len(quads), func(i int) []FormulaPoint {
+		pts := RunRDMAQuadrant(quads[i], DefaultCoreSweep(), opt)
+		fps := make([]FormulaPoint, 0, len(pts))
 		for _, p := range pts {
-			out[q] = append(out[q], ValidateFormula(p.QuadrantPoint, opt))
+			fps = append(fps, ValidateFormula(p.QuadrantPoint, opt))
 		}
+		return fps
+	})
+	out := make(map[Quadrant][]FormulaPoint, len(quads))
+	for i, q := range quads {
+		out[q] = series[i]
 	}
 	return out
 }

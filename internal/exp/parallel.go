@@ -1,0 +1,33 @@
+package exp
+
+import (
+	"context"
+
+	"repro/internal/runner"
+)
+
+// Every multi-point sweep in this package fans its points out on a
+// runner pool sized by Options.Parallelism. A point never shares mutable
+// state with another point — each builds its own host.Host and sim.Engine —
+// so the parallel schedule cannot change results; the determinism tests
+// compare serial and parallel runs bit-for-bit.
+
+// pmap evaluates fn(i) for every i in [0, n) on the options' worker pool
+// and returns the results in index order. A panic inside a point resurfaces
+// on the caller's goroutine as a *runner.PanicError naming the point.
+func pmap[T any](opt Options, n int, fn func(int) T) []T {
+	out, err := runner.Map(context.Background(), opt.Parallelism, n, fn)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// pdo runs a fixed set of heterogeneous tasks (e.g. a baseline run plus the
+// sweep points) on the options' worker pool, with the same panic semantics
+// as pmap.
+func pdo(opt Options, tasks ...func()) {
+	if err := runner.Do(context.Background(), opt.Parallelism, tasks...); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The headline guarantee of the parallel runner: because every sweep point
+// builds its own host.Host and sim.Engine, running a sweep on N workers
+// must produce results bit-identical to the serial run. These tests pin
+// that with reflect.DeepEqual over the full result structures (every
+// Measure field, including the analytic inputs), at reduced windows so the
+// comparison runs quickly even under -race.
+
+// detOptions returns short-window options at the given parallelism.
+func detOptions(parallelism int) Options {
+	opt := Defaults()
+	opt.Warmup = 5 * sim.Microsecond
+	opt.Window = 10 * sim.Microsecond
+	opt.Parallelism = parallelism
+	return opt
+}
+
+func TestParallelDeterminismFig3(t *testing.T) {
+	serial := RunFig3(detOptions(1))
+	parallel := RunFig3(detOptions(8))
+	if !reflect.DeepEqual(serial, parallel) {
+		for _, q := range []Quadrant{Q1, Q2, Q3, Q4} {
+			s, p := serial[q], parallel[q]
+			if len(s) != len(p) {
+				t.Errorf("%v: %d serial points vs %d parallel", q, len(s), len(p))
+				continue
+			}
+			for i := range s {
+				if !reflect.DeepEqual(s[i], p[i]) {
+					t.Errorf("%v point %d (cores=%d): serial and parallel results differ\nserial:   %+v\nparallel: %+v",
+						q, i, s[i].Cores, s[i], p[i])
+				}
+			}
+		}
+		t.Fatal("RunFig3 at Parallelism=8 is not bit-identical to serial")
+	}
+}
+
+func TestParallelDeterminismRDMAQuadrant(t *testing.T) {
+	cores := []int{1, 2}
+	serial := RunRDMAQuadrant(Q3, cores, detOptions(1))
+	parallel := RunRDMAQuadrant(Q3, cores, detOptions(8))
+	if !reflect.DeepEqual(serial, parallel) {
+		for i := range serial {
+			if i < len(parallel) && !reflect.DeepEqual(serial[i], parallel[i]) {
+				t.Errorf("RDMA Q3 point %d (cores=%d) differs\nserial:   %+v\nparallel: %+v",
+					i, serial[i].Cores, serial[i], parallel[i])
+			}
+		}
+		t.Fatal("RunRDMAQuadrant at Parallelism=8 is not bit-identical to serial")
+	}
+}
+
+func TestParallelDeterminismDCTCP(t *testing.T) {
+	cores := []int{1, 2}
+	serial := RunDCTCP(false, cores, detOptions(1))
+	parallel := RunDCTCP(false, cores, detOptions(8))
+	if !reflect.DeepEqual(serial, parallel) {
+		for i := range serial {
+			if i < len(parallel) && !reflect.DeepEqual(serial[i], parallel[i]) {
+				t.Errorf("DCTCP point %d (cores=%d) differs\nserial:   %+v\nparallel: %+v",
+					i, serial[i].C2MCores, serial[i], parallel[i])
+			}
+		}
+		t.Fatal("RunDCTCP at Parallelism=8 is not bit-identical to serial")
+	}
+}
+
+// Repeated parallel runs must agree with each other too (no run-to-run
+// scheduling sensitivity).
+func TestParallelRunToRunStability(t *testing.T) {
+	a := RunQuadrant(Q1, []int{1, 2, 3}, detOptions(8))
+	b := RunQuadrant(Q1, []int{1, 2, 3}, detOptions(8))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two Parallelism=8 runs of the same sweep differ")
+	}
+}

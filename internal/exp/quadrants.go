@@ -107,27 +107,39 @@ func RunQuadrantPoint(q Quadrant, cores int, opt Options) QuadrantPoint {
 }
 
 // RunQuadrant sweeps C2M core counts for one quadrant — the Fig 3 series,
-// which the deep-dive figures (7, 8, 13, 14) then read probes from.
+// which the deep-dive figures (7, 8, 13, 14) then read probes from. The
+// per-count points and the shared P2M baseline all run on the options'
+// worker pool.
 func RunQuadrant(q Quadrant, coreCounts []int, opt Options) []QuadrantPoint {
-	pts := make([]QuadrantPoint, 0, len(coreCounts))
 	// The P2M isolated baseline is independent of the C2M core count.
-	p2m := opt.newHost()
-	addP2MDevice(p2m, q)
-	p2m.Run(opt.Warmup, opt.Window)
-	p2mIso := snapshot(p2m)
-	for _, n := range coreCounts {
-		p := QuadrantPoint{Quadrant: q, Cores: n, P2MIso: p2mIso}
-		iso := opt.newHost()
-		addC2MCores(iso, q, n)
-		iso.Run(opt.Warmup, opt.Window)
-		p.C2MIso = snapshot(iso)
+	var p2mIso Measure
+	pts := make([]QuadrantPoint, len(coreCounts))
+	tasks := make([]func(), 0, len(coreCounts)+1)
+	tasks = append(tasks, func() {
+		p2m := opt.newHost()
+		addP2MDevice(p2m, q)
+		p2m.Run(opt.Warmup, opt.Window)
+		p2mIso = snapshot(p2m)
+	})
+	for idx, n := range coreCounts {
+		tasks = append(tasks, func() {
+			p := QuadrantPoint{Quadrant: q, Cores: n}
+			iso := opt.newHost()
+			addC2MCores(iso, q, n)
+			iso.Run(opt.Warmup, opt.Window)
+			p.C2MIso = snapshot(iso)
 
-		co := opt.newHost()
-		addC2MCores(co, q, n)
-		addP2MDevice(co, q)
-		co.Run(opt.Warmup, opt.Window)
-		p.Co = snapshot(co)
-		pts = append(pts, p)
+			co := opt.newHost()
+			addC2MCores(co, q, n)
+			addP2MDevice(co, q)
+			co.Run(opt.Warmup, opt.Window)
+			p.Co = snapshot(co)
+			pts[idx] = p
+		})
+	}
+	pdo(opt, tasks...)
+	for i := range pts {
+		pts[i].P2MIso = p2mIso
 	}
 	return pts
 }
@@ -136,11 +148,16 @@ func RunQuadrant(q Quadrant, coreCounts []int, opt Options) []QuadrantPoint {
 // the cores not dedicated to the P2M app.
 func DefaultCoreSweep() []int { return []int{1, 2, 3, 4, 5, 6} }
 
-// RunFig3 runs all four quadrants (Fig 3).
+// RunFig3 runs all four quadrants (Fig 3), fanning the quadrant sweeps out
+// in parallel on top of each sweep's own point-level parallelism.
 func RunFig3(opt Options) map[Quadrant][]QuadrantPoint {
-	out := make(map[Quadrant][]QuadrantPoint, 4)
-	for _, q := range []Quadrant{Q1, Q2, Q3, Q4} {
-		out[q] = RunQuadrant(q, DefaultCoreSweep(), opt)
+	quads := []Quadrant{Q1, Q2, Q3, Q4}
+	series := pmap(opt, len(quads), func(i int) []QuadrantPoint {
+		return RunQuadrant(quads[i], DefaultCoreSweep(), opt)
+	})
+	out := make(map[Quadrant][]QuadrantPoint, len(quads))
+	for i, q := range quads {
+		out[q] = series[i]
 	}
 	return out
 }

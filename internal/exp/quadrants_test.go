@@ -4,7 +4,23 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 )
+
+// figOptions returns the full 100 us window by default; under -short (the
+// race-detector CI tier) it shrinks the measurement window so the figure
+// shape tests finish in minutes instead of tens of minutes. The regime
+// shapes are already stable at 30 us; EXPERIMENTS.md numbers come from the
+// full window.
+func figOptions(t *testing.T) Options {
+	t.Helper()
+	opt := Defaults()
+	if testing.Short() {
+		opt.Warmup = 10 * sim.Microsecond
+		opt.Window = 30 * sim.Microsecond
+	}
+	return opt
+}
 
 func logPoints(t *testing.T, pts []QuadrantPoint) {
 	for _, p := range pts {
@@ -19,7 +35,7 @@ func logPoints(t *testing.T, pts []QuadrantPoint) {
 // Fig 3 quadrant 1: blue regime — C2M degrades (1.2-1.7x), P2M unaffected,
 // memory bandwidth unsaturated at low core counts.
 func TestQuadrant1BlueRegime(t *testing.T) {
-	pts := RunQuadrant(Q1, DefaultCoreSweep(), Defaults())
+	pts := RunQuadrant(Q1, DefaultCoreSweep(), figOptions(t))
 	logPoints(t, pts)
 	for _, p := range pts {
 		if d := p.C2MDegradation(); d < 1.1 {
@@ -43,7 +59,7 @@ func TestQuadrant1BlueRegime(t *testing.T) {
 // Fig 3 quadrant 3: red regime — with enough C2M-ReadWrite cores, P2M
 // degrades too (C2M antagonizes P2M), and shares stabilize at high load.
 func TestQuadrant3RedRegime(t *testing.T) {
-	pts := RunQuadrant(Q3, DefaultCoreSweep(), Defaults())
+	pts := RunQuadrant(Q3, DefaultCoreSweep(), figOptions(t))
 	logPoints(t, pts)
 	// Low core counts: blue-like (P2M intact).
 	if d := pts[0].P2MDegradation(); d > 1.15 {
@@ -66,7 +82,7 @@ func TestQuadrant3RedRegime(t *testing.T) {
 // Fig 3 quadrants 2 and 4: blue regime with P2M reads.
 func TestQuadrants2And4Blue(t *testing.T) {
 	for _, q := range []Quadrant{Q2, Q4} {
-		pts := RunQuadrant(q, []int{1, 3, 6}, Defaults())
+		pts := RunQuadrant(q, []int{1, 3, 6}, figOptions(t))
 		logPoints(t, pts)
 		for _, p := range pts {
 			if d := p.C2MDegradation(); d < 1.03 {

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -161,14 +162,21 @@ func RenderFormula(w io.Writer, res map[Quadrant][]FormulaPoint) {
 	b.Render(w)
 }
 
-// RenderApps renders Fig 1/2/15/16/17-style app colocation tables.
+// RenderApps renders Fig 1/2/15/16/17-style app colocation tables. Series
+// print in sorted name order so output is reproducible byte-for-byte
+// (map iteration order would reshuffle rows run to run).
 func RenderApps(w io.Writer, title string, series map[string][]AppPoint) {
 	t := Table{
 		Title:  title,
 		Header: []string{"app", "ddio", "cores", "app degr", "P2M degr", "memC2M", "memP2M"},
 	}
-	for name, pts := range series {
-		for _, p := range pts {
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, p := range series[name] {
 			t.Add(name, p.DDIO, p.Cores, x(p.AppDegradation()), x(p.P2MDegradation()),
 				gb(p.Co.MemC2M), gb(p.Co.MemP2M))
 		}

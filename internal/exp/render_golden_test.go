@@ -1,0 +1,216 @@
+package exp
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analytic"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// The golden tests pin the renderers' exact byte output — row order,
+// alignment, formatting — over fixed synthetic fixtures, so a change to the
+// sweep machinery (e.g. the parallel runner) cannot silently reorder or
+// reformat experiment output. Regenerate deliberately with:
+//
+//	go test ./internal/exp -run Golden -update
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (re-run with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// fixedMeasure builds a Measure with deterministic synthetic values spread
+// over the fields the renderers read.
+func fixedMeasure(scale float64) Measure {
+	return Measure{
+		C2MBW: 10e9 * scale, P2MBW: 14e9,
+		MemC2M: 10.5e9 * scale, MemP2M: 14.2e9,
+		C2MLat: 90 * scale, C2MReadLat: 88 * scale, C2MWriteLat: 12,
+		P2MWriteLat: 310, P2MReadLat: 240,
+		CHAAdmitLat: 4.5 * scale, RPQBlockLat: 2.25,
+		RPQOcc: 11.5, WPQOcc: 20.25, WPQFullFrac: 0.55,
+		IIOWriteOcc: 45.5, IIOReadOcc: 1.25, WBacklog: 7.5,
+		RowMissC2MRead: 0.125, RowMissC2MWrite: 0.25,
+		BankDevFracGE15: 0.375,
+	}
+}
+
+func fixedQuadrantPoints(q Quadrant) []QuadrantPoint {
+	var pts []QuadrantPoint
+	for i, cores := range []int{1, 2, 4} {
+		s := 1 + 0.25*float64(i)
+		p := QuadrantPoint{Quadrant: q, Cores: cores}
+		p.C2MIso = fixedMeasure(s)
+		p.C2MIso.C2MBW = 12e9 * s
+		p.P2MIso = fixedMeasure(1)
+		p.Co = fixedMeasure(s)
+		if q == Q3 && cores == 4 {
+			p.Co.P2MBW = 9e9 // a red-regime row
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+func TestGoldenRenderQuadrants(t *testing.T) {
+	res := map[Quadrant][]QuadrantPoint{}
+	for _, q := range []Quadrant{Q1, Q2, Q3, Q4} {
+		res[q] = fixedQuadrantPoints(q)
+	}
+	var buf bytes.Buffer
+	RenderQuadrants(&buf, res)
+	checkGolden(t, "render_quadrants.golden", buf.Bytes())
+}
+
+func TestGoldenRenderQuadrantProbes(t *testing.T) {
+	var buf bytes.Buffer
+	RenderQuadrantProbes(&buf, "Fig 7: quadrant 1 root causes", fixedQuadrantPoints(Q1))
+	checkGolden(t, "render_quadrant_probes.golden", buf.Bytes())
+}
+
+func TestGoldenRenderApps(t *testing.T) {
+	mk := func(n int, degr float64) []AppPoint {
+		var pts []AppPoint
+		for i := 0; i < n; i++ {
+			p := AppPoint{App: RedisRead, Cores: 1 + i, DDIO: i%2 == 0,
+				AppIso: 1e6 * degr, AppCo: 1e6, P2MIso: 14e9, P2MCo: 14e9}
+			p.Co = fixedMeasure(1 + float64(i)/4)
+			pts = append(pts, p)
+		}
+		return pts
+	}
+	// Intentionally unsorted insertion order: rendering must sort by name.
+	series := map[string][]AppPoint{
+		"Redis(on)":  mk(2, 1.3),
+		"GAPBS(off)": mk(2, 1.8),
+		"Redis(off)": mk(2, 1.2),
+		"GAPBS(on)":  mk(2, 1.9),
+	}
+	var buf bytes.Buffer
+	RenderApps(&buf, "Fig 2: DDIO on/off on Cascade Lake", series)
+	checkGolden(t, "render_apps.golden", buf.Bytes())
+}
+
+func TestGoldenRenderFormula(t *testing.T) {
+	res := map[Quadrant][]FormulaPoint{}
+	for qi, q := range []Quadrant{Q1, Q2, Q3, Q4} {
+		for i, cores := range []int{1, 4} {
+			f := FormulaPoint{
+				Quadrant: q, Cores: cores,
+				C2MErrorPct: 2.5 * float64(qi+i), C2MErrorCHAPct: -1.25 * float64(qi),
+				P2MErrorPct: 0.5 * float64(i),
+				C2MBreakdown: analytic.Components{
+					Switching: 1.5, WriteHoL: 20.25 * float64(qi+1), ReadHoL: 5.125, TopOfQueue: 8,
+				},
+			}
+			res[q] = append(res[q], f)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFormula(&buf, res)
+	checkGolden(t, "render_formula.golden", buf.Bytes())
+}
+
+func TestGoldenRenderRDMA(t *testing.T) {
+	res := map[Quadrant][]RDMAQuadrantPoint{}
+	for _, q := range []Quadrant{Q1, Q3} {
+		for i, cores := range []int{1, 4} {
+			var p RDMAQuadrantPoint
+			p.QuadrantPoint = fixedQuadrantPoints(q)[0]
+			p.Cores = cores
+			p.PauseFrac = 0.25 * float64(i)
+			res[q] = append(res[q], p)
+		}
+	}
+	var buf bytes.Buffer
+	RenderRDMA(&buf, res)
+	checkGolden(t, "render_rdma.golden", buf.Bytes())
+}
+
+func TestGoldenRenderDCTCP(t *testing.T) {
+	mk := func(rw bool) []DCTCPPoint {
+		var pts []DCTCPPoint
+		for i, cores := range []int{1, 2} {
+			p := DCTCPPoint{
+				C2MCores: cores, ReadWrite: rw,
+				MemAppIso: 20e9, MemAppCo: 15e9 - float64(i)*1e9,
+				NetIso: 4.7e9, NetCo: 4.7e9 - float64(i)*0.5e9,
+				P2MCo: 5e9, LossRate: 0.0025 * float64(i),
+			}
+			p.Co = fixedMeasure(1)
+			pts = append(pts, p)
+		}
+		return pts
+	}
+	var buf bytes.Buffer
+	RenderDCTCP(&buf, mk(false), mk(true))
+	checkGolden(t, "render_dctcp.golden", buf.Bytes())
+}
+
+func TestGoldenRenderDomainEvidence(t *testing.T) {
+	ev := DomainEvidence{
+		LFBCredits: 12, IIOWriteCredits: 92, IIOReadCredits: 164,
+		UnloadedC2MRead: 71, UnloadedC2MWrite: 10, UnloadedP2MWrite: 300,
+	}
+	for i, cores := range []int{1, 4, 6} {
+		s := float64(i + 1)
+		ev.Points = append(ev.Points, DomainEvidencePoint{
+			Cores: cores, ReadLFBLat: 70 * s, ReadCHADram: 60 * s,
+			RWLFBLat: 80 * s, RWCHAMCWr: 30 * s, RWWriteLat: 11 * s,
+			ProbeIIOLat: 300 + 5*s, ProbeCHAMCWr: 35 * s,
+		})
+	}
+	var buf bytes.Buffer
+	RenderDomainEvidence(&buf, ev)
+	checkGolden(t, "render_domains.golden", buf.Bytes())
+}
+
+func TestGoldenRenderTable1(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTable1(&buf)
+	checkGolden(t, "render_table1.golden", buf.Bytes())
+}
+
+func TestGoldenQuadrantCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := QuadrantCSV(fixedQuadrantPoints(Q3)).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "quadrant_csv.golden", buf.Bytes())
+}
+
+func TestGoldenTableCSVEscaping(t *testing.T) {
+	tab := &Table{
+		Title:  "escaping",
+		Header: []string{"name", "note"},
+	}
+	tab.Add("a,b", "quote \" and\nnewline")
+	tab.Add(1.5, "plain")
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table_csv_escaping.golden", buf.Bytes())
+}

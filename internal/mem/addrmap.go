@@ -109,6 +109,15 @@ func (m *Mapper) Banks() int { return m.banks }
 // RowLines reports cachelines per row.
 func (m *Mapper) RowLines() int { return m.rowLines }
 
+// Column reports the intra-row line index of an address. Together with the
+// Map coordinate it uniquely identifies a cacheline: (channel, bank, row,
+// column) is a bijection of the line address space even with the XOR bank
+// hash enabled, because the hash only permutes bank bits within a fixed
+// row (pinned by the bijectivity property tests).
+func (m *Mapper) Column(a Addr) int {
+	return int((uint64(a) / LineSize >> m.chShift) & m.colMask)
+}
+
 // Map decodes a physical address. Consecutive cachelines interleave across
 // channels; within a channel, a row's worth of lines share (bank, row) so
 // sequential streams enjoy row locality.
@@ -118,7 +127,7 @@ func (m *Mapper) Map(a Addr) Coord {
 	li := line >> m.chShift
 	bank := (li >> m.colBits) & m.bankMask
 	row := li >> (m.colBits + m.bankBits)
-	if m.xorRowLow {
+	if m.xorRowLow && m.bankBits > 0 {
 		// Fold the whole row index into the bank bits (DRAMA-style
 		// multi-bit XOR), so large power-of-two strides — e.g. two buffers
 		// 1 GiB apart — do not march through identical bank sequences.

@@ -1,0 +1,144 @@
+// Package runner is the parallel executor behind every multi-point
+// experiment sweep. A sweep is a set of fully independent single-threaded
+// simulations — each point builds its own host and engine — so points can
+// run on a worker pool with no effect on the results: parallel output is
+// bit-identical to serial output (pinned by the determinism tests in
+// internal/exp).
+//
+// The pool provides the guarantees the experiment harness needs:
+//
+//   - ordered result collection: Map returns results indexed exactly like
+//     its input, regardless of completion order;
+//   - panic capture with point attribution: a panic inside point i surfaces
+//     as a *PanicError carrying i and the goroutine's stack, instead of
+//     killing the process from an anonymous worker;
+//   - context cancellation: no new points start once ctx is done.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// PanicError attributes a panic to the task index that raised it.
+type PanicError struct {
+	Index int
+	Value interface{}
+	Stack []byte
+}
+
+// Error renders the panic with its point attribution and stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Workers normalizes a parallelism knob: n >= 1 is used as-is; anything
+// else (0, negative) means "one worker per available CPU" (GOMAXPROCS).
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most Workers(workers)
+// goroutines. It returns the first error encountered: ctx.Err() if the
+// context was cancelled before all indices ran, or a *PanicError if a task
+// panicked (remaining tasks are cancelled, in-flight ones finish). All
+// tasks that ran have completed by the time ForEach returns, so writes they
+// made are visible to the caller.
+func ForEach(ctx context.Context, workers, n int, fn func(int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path: same semantics, no goroutines.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := capture(i, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     int64 = -1
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				if err := capture(i, fn); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// capture runs fn(i), converting a panic into a *PanicError.
+func capture(i int, fn func(int)) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	fn(i)
+	return nil
+}
+
+// Map runs fn(i) for every i in [0, n) on the pool and returns the results
+// in index order. On error the returned slice holds the results of the
+// tasks that completed (zero values elsewhere).
+func Map[T any](ctx context.Context, workers, n int, fn func(int) T) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(i int) { out[i] = fn(i) })
+	return out, err
+}
+
+// Do runs a fixed set of heterogeneous tasks on the pool, returning the
+// first error as ForEach does.
+func Do(ctx context.Context, workers int, tasks ...func()) error {
+	return ForEach(ctx, workers, len(tasks), func(i int) { tasks[i]() })
+}

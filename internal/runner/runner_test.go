@@ -1,0 +1,156 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		out, err := Map(context.Background(), workers, 50, func(i int) int { return i * i })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 50 {
+			t.Fatalf("workers=%d: got %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Errorf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 4, 0, func(i int) int { return i })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got %v, %v; want empty, nil", out, err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got < 1 {
+		t.Errorf("Workers(0) = %d, want >= 1", got)
+	}
+	if got := Workers(-5); got < 1 {
+		t.Errorf("Workers(-5) = %d, want >= 1", got)
+	}
+}
+
+// The pool must never run more than `workers` tasks at once.
+func TestWorkerBound(t *testing.T) {
+	const workers = 3
+	var cur, max int64
+	var mu sync.Mutex
+	err := ForEach(context.Background(), workers, 64, func(i int) {
+		n := atomic.AddInt64(&cur, 1)
+		mu.Lock()
+		if n > max {
+			max = n
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		atomic.AddInt64(&cur, -1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max > workers {
+		t.Errorf("observed %d concurrent tasks, want <= %d", max, workers)
+	}
+}
+
+func TestPanicAttribution(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), workers, 20, func(i int) int {
+			if i == 13 {
+				panic("boom at 13")
+			}
+			return i
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 13 {
+			t.Errorf("workers=%d: panic attributed to task %d, want 13", workers, pe.Index)
+		}
+		if !strings.Contains(pe.Error(), "boom at 13") {
+			t.Errorf("workers=%d: error misses panic value: %s", workers, pe.Error())
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: no stack captured", workers)
+		}
+	}
+}
+
+// A panic cancels the tasks that have not started yet.
+func TestPanicCancelsRemaining(t *testing.T) {
+	var ran int64
+	err := ForEach(context.Background(), 2, 1000, func(i int) {
+		atomic.AddInt64(&ran, 1)
+		if i == 0 {
+			panic("early")
+		}
+		time.Sleep(time.Millisecond)
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := atomic.LoadInt64(&ran); n == 1000 {
+		t.Error("all tasks ran despite an early panic")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int64
+	var once sync.Once
+	err := ForEach(ctx, 2, 1000, func(i int) {
+		atomic.AddInt64(&ran, 1)
+		once.Do(cancel)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt64(&ran); n == 1000 {
+		t.Error("all tasks ran despite cancellation")
+	}
+}
+
+func TestPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int64
+	err := ForEach(ctx, 1, 10, func(i int) { atomic.AddInt64(&ran, 1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if atomic.LoadInt64(&ran) != 0 {
+		t.Error("tasks ran on a cancelled context")
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b, c int
+	err := Do(context.Background(), 4,
+		func() { a = 1 },
+		func() { b = 2 },
+		func() { c = 3 },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 1 || b != 2 || c != 3 {
+		t.Errorf("got (%d, %d, %d)", a, b, c)
+	}
+}
