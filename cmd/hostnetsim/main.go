@@ -16,12 +16,21 @@
 //	-ddio     enable DDIO for the quadrant experiments
 //	-parallel worker-pool size for multi-point sweeps (0 = one per CPU,
 //	          1 = serial); results are bit-identical at any setting
+//
+// Profiling (see README "Performance & profiling"):
+//
+//	-cpuprofile file  write a CPU profile for the whole run
+//	-memprofile file  write an allocation profile at exit
+//	-trace file       write a runtime execution trace
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 	"time"
 
@@ -31,13 +40,63 @@ import (
 )
 
 func main() {
+	// Profile teardown happens via defers, so the exit code is carried out
+	// of realMain instead of calling os.Exit mid-run.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	window := flag.Duration("window", 100*time.Microsecond, "measurement window (simulated)")
 	warmup := flag.Duration("warmup", 20*time.Microsecond, "warmup before measuring (simulated)")
 	ddio := flag.Bool("ddio", false, "enable DDIO in quadrant experiments")
 	csvOut := flag.Bool("csv", false, "emit quadrant experiments as CSV instead of tables")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
+	memprofile := flag.String("memprofile", "", "write allocation profile to `file` at exit")
+	traceOut := flag.String("trace", "", "write runtime execution trace to `file`")
 	flag.CommandLine.Parse(reorderArgs(os.Args[1:]))
 	emitCSV = *csvOut
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			return 1
+		}
+		defer rtrace.Stop()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
+	}
 
 	opt := hostnet.DefaultOptions()
 	opt.Window = sim.Time(window.Nanoseconds()) * sim.Nanosecond
@@ -51,21 +110,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: table1 fig1 fig2 fig3 fig6 fig7 fig8 fig11 fig12 fig13 fig14")
 		fmt.Fprintln(os.Stderr, "             fig15 fig16 fig17 fig18 fig19 fig23 fig27 fig29 domains")
 		fmt.Fprintln(os.Stderr, "             prefetch hostcc mcisolation ratio cxl all")
-		os.Exit(2)
+		return 2
 	}
 	for _, a := range args {
 		if a == "all" {
-			run(opt, "table1", "fig3", "fig6", "fig7", "fig8", "fig11", "fig13", "fig14",
+			return run(opt, "table1", "fig3", "fig6", "fig7", "fig8", "fig11", "fig13", "fig14",
 				"fig1", "fig2", "fig15", "fig16", "fig17", "fig18", "fig19", "fig23", "fig27", "fig29")
-			return
 		}
 	}
-	run(opt, args...)
+	return run(opt, args...)
 }
 
 var emitCSV bool
 
-func run(opt hostnet.Options, names ...string) {
+func run(opt hostnet.Options, names ...string) int {
 	w := os.Stdout
 	for _, name := range names {
 		switch name {
@@ -77,7 +135,7 @@ func run(opt hostnet.Options, names ...string) {
 				for _, q := range []hostnet.Quadrant{hostnet.Q1, hostnet.Q2, hostnet.Q3, hostnet.Q4} {
 					if err := exp.QuadrantCSV(res[q]).WriteCSV(w); err != nil {
 						fmt.Fprintln(os.Stderr, err)
-						os.Exit(1)
+						return 1
 					}
 				}
 			} else {
@@ -182,9 +240,10 @@ func run(opt hostnet.Options, names ...string) {
 				s.CongestedFrac*100, s.AvgGapNanos)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-			os.Exit(2)
+			return 2
 		}
 	}
+	return 0
 }
 
 func renderGrid(w *os.File, g exp.AppGridResult) {

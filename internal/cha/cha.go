@@ -131,7 +131,46 @@ type CHA struct {
 	readRetry  []*mem.Request // admitted reads waiting for RPQ space
 	wBacklog   []*mem.Request // admitted writes waiting for WPQ space
 
+	// Bound handlers, created once at construction so the per-request
+	// pipeline stages schedule without allocating closures; ddioFree pools
+	// the writeback-carrying args of DDIO write-completion events.
+	processFn    sim.EventFunc // admission -> process(r)
+	llcReadFn    sim.EventFunc // LLC/DDIO read hit service
+	dispatchRdFn sim.EventFunc // CHA -> MC read dispatch
+	backlogFn    sim.EventFunc // CHA -> MC write backlog entry
+	returnFn     sim.EventFunc // data return -> requester Done
+	readDoneFn   sim.EventFunc // MC read data -> CHA
+	ddioFree     []*ddioWriteArg
+
 	stats *Stats
+}
+
+// ddioWriteArg carries a DDIO write completion (and its optional eviction
+// writeback) through the event heap.
+type ddioWriteArg struct {
+	c     *CHA
+	r     *mem.Request
+	wb    mem.Addr
+	hasWB bool
+}
+
+// ddioWriteEvent dispatches a pooled DDIO write completion.
+func ddioWriteEvent(arg any) {
+	a := arg.(*ddioWriteArg)
+	c, r, wb, hasWB := a.c, a.r, a.wb, a.hasWB
+	a.c, a.r = nil, nil
+	c.ddioFree = append(c.ddioFree, a)
+	c.finishDDIOWrite(r, wb, hasWB)
+}
+
+func (c *CHA) newDDIOWriteArg(r *mem.Request, wb mem.Addr, hasWB bool) *ddioWriteArg {
+	if n := len(c.ddioFree); n > 0 {
+		a := c.ddioFree[n-1]
+		c.ddioFree = c.ddioFree[:n-1]
+		a.c, a.r, a.wb, a.hasWB = c, r, wb, hasWB
+		return a
+	}
+	return &ddioWriteArg{c: c, r: r, wb: wb, hasWB: hasWB}
 }
 
 // New builds a CHA over the given memory controller and DDIO region (ddio
@@ -163,8 +202,32 @@ func New(eng *sim.Engine, cfg Config, mc *dram.Controller, ddio *cache.DDIO) *CH
 		c.stats.ReadMCLat[i] = telemetry.NewLatency(eng)
 		c.stats.WriteMCLat[i] = telemetry.NewLatency(eng)
 	}
+	c.processFn = c.processEvent
+	c.llcReadFn = c.llcReadEvent
+	c.dispatchRdFn = c.dispatchReadEvent
+	c.backlogFn = c.backlogEvent
+	c.returnFn = c.returnEvent
+	c.readDoneFn = c.readDoneEvent
 	mc.SetClient(c)
 	return c
+}
+
+func (c *CHA) processEvent(arg any) { c.process(arg.(*mem.Request)) }
+
+func (c *CHA) llcReadEvent(arg any) {
+	r := arg.(*mem.Request)
+	c.freeRead(r)
+	c.completeAfterReturn(r)
+}
+
+func (c *CHA) backlogEvent(arg any) { c.toBacklog(arg.(*mem.Request)) }
+
+func (c *CHA) returnEvent(arg any) {
+	r := arg.(*mem.Request)
+	r.TDone = c.eng.Now()
+	if r.Done != nil {
+		r.Done(r)
+	}
 }
 
 // Stats returns the CHA probes.
@@ -219,8 +282,7 @@ func (c *CHA) tryAdmit() {
 				r.Done(r)
 			}
 		}
-		req := r
-		c.eng.After(c.cfg.ProcDelay, func() { c.process(req) })
+		c.eng.AfterFunc(c.cfg.ProcDelay, c.processFn, r)
 	}
 }
 
@@ -248,10 +310,7 @@ func (c *CHA) process(r *mem.Request) {
 	if r.Source == mem.C2M && r.Kind == mem.Read && c.cfg.C2MHitRatio > 0 &&
 		c.rng.Float64() < c.cfg.C2MHitRatio {
 		c.stats.LLCHitsC2M.Inc()
-		c.eng.After(c.cfg.LLCHitLatency, func() {
-			c.freeRead(r)
-			c.completeAfterReturn(r)
-		})
+		c.eng.AfterFunc(c.cfg.LLCHitLatency, c.llcReadFn, r)
 		return
 	}
 	c.dispatch(r)
@@ -262,10 +321,7 @@ func (c *CHA) processDDIO(r *mem.Request) {
 	if r.Kind == mem.Read {
 		if c.ddio.Read(r.Addr) {
 			c.stats.DDIOHits.Inc()
-			c.eng.After(c.cfg.LLCHitLatency, func() {
-				c.freeRead(r)
-				c.completeAfterReturn(r)
-			})
+			c.eng.AfterFunc(c.cfg.LLCHitLatency, c.llcReadFn, r)
 			return
 		}
 		c.dispatch(r)
@@ -278,36 +334,40 @@ func (c *CHA) processDDIO(r *mem.Request) {
 	if hit {
 		c.stats.DDIOHits.Inc()
 	}
-	c.eng.After(c.cfg.LLCHitLatency, func() {
-		// Complete the DMA write: IIO credit released at LLC admission.
-		r.TDone = c.eng.Now()
-		if r.Done != nil {
-			r.Done(r)
+	c.eng.AfterFunc(c.cfg.LLCHitLatency, ddioWriteEvent, c.newDDIOWriteArg(r, wb, hasWB))
+}
+
+// finishDDIOWrite completes a DMA write at the LLC and emits its eviction
+// writeback, if any.
+func (c *CHA) finishDDIOWrite(r *mem.Request, wb mem.Addr, hasWB bool) {
+	// Complete the DMA write: IIO credit released at LLC admission.
+	r.TDone = c.eng.Now()
+	if r.Done != nil {
+		r.Done(r)
+	}
+	if hasWB {
+		c.stats.DDIOWritebacks.Inc()
+		evict := &mem.Request{
+			ID:     r.ID,
+			Addr:   wb,
+			Kind:   mem.Write,
+			Source: mem.P2M,
+			Origin: r.Origin,
+			TAlloc: c.eng.Now(),
 		}
-		if hasWB {
-			c.stats.DDIOWritebacks.Inc()
-			evict := &mem.Request{
-				ID:     r.ID,
-				Addr:   wb,
-				Kind:   mem.Write,
-				Source: mem.P2M,
-				Origin: r.Origin,
-				TAlloc: c.eng.Now(),
-			}
-			evict.TCHAEnter = c.eng.Now()
-			evict.TCHAAdmit = c.eng.Now()
-			// The eviction inherits the original DMA write's CHA entry (and
-			// its WriteMCLat sample): the entry frees only when the
-			// writeback reaches the WPQ, which is how DDIO converts
-			// eviction pressure into ingress backpressure.
-			c.toBacklog(evict)
-			if c.cfg.DDIOEvictionReadFrac > 0 && c.rng.Float64() < c.cfg.DDIOEvictionReadFrac {
-				c.directoryRead(r.Origin, wb)
-			}
-		} else {
-			c.freeWrite()
+		evict.TCHAEnter = c.eng.Now()
+		evict.TCHAAdmit = c.eng.Now()
+		// The eviction inherits the original DMA write's CHA entry (and
+		// its WriteMCLat sample): the entry frees only when the
+		// writeback reaches the WPQ, which is how DDIO converts
+		// eviction pressure into ingress backpressure.
+		c.toBacklog(evict)
+		if c.cfg.DDIOEvictionReadFrac > 0 && c.rng.Float64() < c.cfg.DDIOEvictionReadFrac {
+			c.directoryRead(r.Origin, wb)
 		}
-	})
+	} else {
+		c.freeWrite()
+	}
 }
 
 // directoryRead injects the eviction-handling coherence read (the DDIO
@@ -332,18 +392,23 @@ func (c *CHA) directoryRead(origin int, addr mem.Addr) {
 // dispatch sends a miss to the memory controller.
 func (c *CHA) dispatch(r *mem.Request) {
 	if r.Kind == mem.Read {
-		c.eng.After(c.cfg.ToMC, func() {
-			c.stats.ReadMCLat[r.Source].Enter()
-			c.stats.RPQBlockLat.Enter()
-			if c.mc.TryEnqueue(r) {
-				c.stats.RPQBlockLat.Exit()
-				return
-			}
-			c.readRetry = append(c.readRetry, r)
-		})
+		c.eng.AfterFunc(c.cfg.ToMC, c.dispatchRdFn, r)
 		return
 	}
-	c.eng.After(c.cfg.ToMC, func() { c.toBacklog(r) })
+	c.eng.AfterFunc(c.cfg.ToMC, c.backlogFn, r)
+}
+
+// dispatchReadEvent lands a read at the MC, parking it on the retry list if
+// the RPQ is full.
+func (c *CHA) dispatchReadEvent(arg any) {
+	r := arg.(*mem.Request)
+	c.stats.ReadMCLat[r.Source].Enter()
+	c.stats.RPQBlockLat.Enter()
+	if c.mc.TryEnqueue(r) {
+		c.stats.RPQBlockLat.Exit()
+		return
+	}
+	c.readRetry = append(c.readRetry, r)
 }
 
 func (c *CHA) toBacklog(r *mem.Request) {
@@ -397,22 +462,21 @@ func (c *CHA) completeAfterReturn(r *mem.Request) {
 	if r.Source == mem.P2M {
 		d = c.cfg.ToIIO
 	}
-	c.eng.After(d, func() {
-		r.TDone = c.eng.Now()
-		if r.Done != nil {
-			r.Done(r)
-		}
-	})
+	c.eng.AfterFunc(d, c.returnFn, r)
+}
+
+// readDoneEvent lands read data back at the CHA after FromMC propagation.
+func (c *CHA) readDoneEvent(arg any) {
+	r := arg.(*mem.Request)
+	c.stats.ReadMCLat[r.Source].Exit()
+	c.freeRead(r)
+	c.completeAfterReturn(r)
 }
 
 // ReadComplete implements dram.Client: a read burst finished on the channel.
 func (c *CHA) ReadComplete(r *mem.Request) {
 	c.retryReads()
-	c.eng.After(c.cfg.FromMC, func() {
-		c.stats.ReadMCLat[r.Source].Exit()
-		c.freeRead(r)
-		c.completeAfterReturn(r)
-	})
+	c.eng.AfterFunc(c.cfg.FromMC, c.readDoneFn, r)
 }
 
 // WPQSpaceFreed implements dram.Client: drain the write backlog.

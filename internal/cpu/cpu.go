@@ -105,9 +105,44 @@ type Core struct {
 	ids         mem.IDGen
 	stats       *Stats
 
+	// submitFn is the bound CHA-submission handler, created once so issuing
+	// schedules without allocating a closure; completeFree pools the args of
+	// prefetch-hit completion events for the same reason.
+	submitFn     sim.EventFunc
+	completeFree []*completeArg
+
 	pf     *Prefetcher
 	pfWait map[mem.Addr][]Access
 }
+
+// completeArg carries a prefetch-hit completion through the event heap.
+type completeArg struct {
+	c       *Core
+	acc     Access
+	allocAt sim.Time
+}
+
+// completeEvent dispatches a pooled completion: the arg returns to the pool
+// before the completion runs, so back-to-back hits reuse one allocation.
+func completeEvent(arg any) {
+	a := arg.(*completeArg)
+	c, acc, at := a.c, a.acc, a.allocAt
+	a.c = nil
+	c.completeFree = append(c.completeFree, a)
+	c.complete(acc, at)
+}
+
+func (c *Core) newCompleteArg(acc Access, allocAt sim.Time) *completeArg {
+	if n := len(c.completeFree); n > 0 {
+		a := c.completeFree[n-1]
+		c.completeFree = c.completeFree[:n-1]
+		a.c, a.acc, a.allocAt = c, acc, allocAt
+		return a
+	}
+	return &completeArg{c: c, acc: acc, allocAt: allocAt}
+}
+
+func (c *Core) submitEvent(arg any) { c.cha.Submit(arg.(*mem.Request)) }
 
 // New builds a core bound to a CHA and an access generator. Call Start to
 // begin issuing.
@@ -138,6 +173,7 @@ func New(eng *sim.Engine, cfg Config, index int, c mem.Submitter, gen Generator)
 		core.pfWait = make(map[mem.Addr][]Access)
 	}
 	core.waker = sim.NewWaker(eng, core.pump)
+	core.submitFn = core.submitEvent
 	return core
 }
 
@@ -187,7 +223,7 @@ func (c *Core) issue(acc Access) {
 		switch state {
 		case pfReady:
 			// L2 hit on prefetched data: no memory request.
-			c.eng.After(c.pf.HitLatency, func() { c.complete(acc, now) })
+			c.eng.AfterFunc(c.pf.HitLatency, completeEvent, c.newCompleteArg(acc, now))
 			return
 		case pfInflight:
 			// The prefetch is already fetching this line; piggyback on it.
@@ -204,7 +240,7 @@ func (c *Core) issue(acc Access) {
 		TAlloc: now,
 	}
 	r.Done = func(req *mem.Request) { c.complete(acc, req.TAlloc) }
-	c.eng.After(c.cfg.ToCHA, func() { c.cha.Submit(r) })
+	c.eng.AfterFunc(c.cfg.ToCHA, c.submitFn, r)
 }
 
 // train feeds the prefetcher and launches the prefetches it requests.
@@ -234,7 +270,7 @@ func (c *Core) issuePrefetch(a mem.Addr) {
 			}
 		}
 	}
-	c.eng.After(c.cfg.ToCHA, func() { c.cha.Submit(r) })
+	c.eng.AfterFunc(c.cfg.ToCHA, c.submitFn, r)
 }
 
 func (c *Core) complete(acc Access, allocAt sim.Time) {

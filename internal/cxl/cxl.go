@@ -78,7 +78,35 @@ type Expander struct {
 	// writes blocked on a full WPQ await retry.
 	wBacklog []*mem.Request
 
+	// Bound handlers, created once so per-request link crossings schedule
+	// without allocating closures.
+	arriveFn   sim.EventFunc
+	ackFn      sim.EventFunc
+	readBackFn sim.EventFunc
+
 	stats *Stats
+}
+
+func (e *Expander) arriveEvent(arg any) { e.arrive(arg.(*mem.Request)) }
+
+// ackEvent lands a posted-write acknowledgment back at the host.
+func (e *Expander) ackEvent(arg any) {
+	r := arg.(*mem.Request)
+	r.TDone = e.eng.Now()
+	if r.Done != nil {
+		r.Done(r)
+	}
+}
+
+// readBackEvent lands read data back at the host.
+func (e *Expander) readBackEvent(arg any) {
+	r := arg.(*mem.Request)
+	e.stats.Reads.Inc()
+	e.stats.ReadLat.Exit()
+	r.TDone = e.eng.Now()
+	if r.Done != nil {
+		r.Done(r)
+	}
 }
 
 // New builds an expander.
@@ -93,6 +121,9 @@ func New(eng *sim.Engine, cfg Config) *Expander {
 		},
 	}
 	e.mc = dram.New(eng, cfg.MC, mem.MustMapper(cfg.Mapper), e)
+	e.arriveFn = e.arriveEvent
+	e.ackFn = e.ackEvent
+	e.readBackFn = e.readBackEvent
 	return e
 }
 
@@ -118,7 +149,7 @@ func (e *Expander) Submit(r *mem.Request) {
 		outSer = e.serialize(0)
 	}
 	e.stats.ReadLatEnterIfRead(r)
-	e.eng.After(outSer+e.cfg.LinkLatency+e.cfg.DeviceProc, func() { e.arrive(r) })
+	e.eng.AfterFunc(outSer+e.cfg.LinkLatency+e.cfg.DeviceProc, e.arriveFn, r)
 }
 
 // ReadLatEnterIfRead keeps probe bookkeeping in one place.
@@ -148,12 +179,7 @@ func (e *Expander) arrive(r *mem.Request) {
 // posted once the device accepts them, with the ack crossing back.
 func (e *Expander) writeAdmitted(r *mem.Request) {
 	e.stats.Writes.Inc()
-	e.eng.After(e.cfg.LinkLatency, func() {
-		r.TDone = e.eng.Now()
-		if r.Done != nil {
-			r.Done(r)
-		}
-	})
+	e.eng.AfterFunc(e.cfg.LinkLatency, e.ackFn, r)
 }
 
 // drain retries backlogged requests.
@@ -175,14 +201,7 @@ func (e *Expander) drain() {
 func (e *Expander) ReadComplete(r *mem.Request) {
 	e.drain()
 	backSer := e.serialize(1)
-	e.eng.After(backSer+e.cfg.LinkLatency, func() {
-		e.stats.Reads.Inc()
-		e.stats.ReadLat.Exit()
-		r.TDone = e.eng.Now()
-		if r.Done != nil {
-			r.Done(r)
-		}
-	})
+	e.eng.AfterFunc(backSer+e.cfg.LinkLatency, e.readBackFn, r)
 }
 
 // WPQSpaceFreed implements dram.Client.

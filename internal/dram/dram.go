@@ -224,6 +224,7 @@ type channel struct {
 	drainIssued  int // writes issued in the current drain
 	lastDrainEnd sim.Time
 	waker        *sim.Waker
+	burstFn      sim.EventFunc // bound burstDone handler, created once
 
 	// bank-load sampling state
 	bankLoads   []int
@@ -289,6 +290,7 @@ func New(eng *sim.Engine, cfg Config, mapper *mem.Mapper, client Client) *Contro
 			ch.banks[b].openRow = -1
 		}
 		ch.waker = sim.NewWaker(eng, ch.kick)
+		ch.burstFn = ch.burstDoneEvent
 		c.chans = append(c.chans, ch)
 	}
 	return c
@@ -565,8 +567,10 @@ func (ch *channel) issue(r *mem.Request) {
 	if r.Kind == mem.Read {
 		ch.sampleBank(coord.Bank)
 	}
-	eng.At(burstEnd, func() { ch.burstDone(r) })
+	eng.AtFunc(burstEnd, ch.burstFn, r)
 }
+
+func (ch *channel) burstDoneEvent(arg any) { ch.burstDone(arg.(*mem.Request)) }
 
 func (ch *channel) burstDone(r *mem.Request) {
 	c := ch.ctl

@@ -66,6 +66,7 @@ type Controller struct {
 	baseGap sim.Time
 	gap     sim.Time
 	running bool
+	tickFn  sim.EventFunc // bound tick handler: one event per interval
 
 	// Throttle tracks the applied issue gap over time (ns average).
 	Throttle *telemetry.Integrator
@@ -91,8 +92,11 @@ func New(eng *sim.Engine, cfg Config, io *iio.IIO, ch *cha.CHA, cores []*cpu.Cor
 		c.baseGap = cores[0].IssueGap()
 		c.gap = c.baseGap
 	}
+	c.tickFn = c.tickEvent
 	return c
 }
+
+func (c *Controller) tickEvent(any) { c.tick() }
 
 // Start begins the control loop at time t.
 func (c *Controller) Start(t sim.Time) {
@@ -100,7 +104,7 @@ func (c *Controller) Start(t sim.Time) {
 		return
 	}
 	c.running = true
-	c.eng.At(t, c.tick)
+	c.eng.AtFunc(t, c.tickFn, nil)
 }
 
 // congested evaluates the host congestion signal right now.
@@ -127,7 +131,7 @@ func (c *Controller) tick() {
 		core.SetIssueGap(c.gap)
 	}
 	c.Throttle.Set(int(c.gap / sim.Nanosecond))
-	c.eng.After(c.cfg.Interval, c.tick)
+	c.eng.AfterFunc(c.cfg.Interval, c.tickFn, nil)
 }
 
 // GapNanos reports the currently applied issue gap in nanoseconds.

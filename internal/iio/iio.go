@@ -95,7 +95,66 @@ type IIO struct {
 	rdPaceWaker        *sim.Waker
 	ids                mem.IDGen
 	stats              *Stats
+
+	// submitFn is the bound CHA-submission handler, created once so DMA
+	// issue schedules without allocating a closure; doneFree pools the
+	// args of credit-return and completion-delivery events.
+	submitFn sim.EventFunc
+	doneFree []*doneArg
 }
+
+// doneArg carries a credit return (write) or completion delivery (read)
+// through the event heap, with the caller's optional done callback.
+type doneArg struct {
+	i    *IIO
+	done func()
+}
+
+func (i *IIO) newDoneArg(done func()) *doneArg {
+	if n := len(i.doneFree); n > 0 {
+		a := i.doneFree[n-1]
+		i.doneFree = i.doneFree[:n-1]
+		a.i, a.done = i, done
+		return a
+	}
+	return &doneArg{i: i, done: done}
+}
+
+// creditReturnEvent ends a write's credit hold after the completion
+// notification propagates back from the WPQ (or DDIO LLC).
+func creditReturnEvent(arg any) {
+	a := arg.(*doneArg)
+	i, done := a.i, a.done
+	a.i, a.done = nil, nil
+	i.doneFree = append(i.doneFree, a)
+	i.wrFree++
+	i.stats.WriteOcc.Add(-1)
+	i.stats.WriteLat.Exit()
+	i.stats.LinesIn.Inc()
+	if done != nil {
+		done()
+	}
+	fire(&i.wrWaiters, &i.wrRot)
+}
+
+// readDeliveredEvent frees a read credit once the data has serialized over
+// the downstream link.
+func readDeliveredEvent(arg any) {
+	a := arg.(*doneArg)
+	i, done := a.i, a.done
+	a.i, a.done = nil, nil
+	i.doneFree = append(i.doneFree, a)
+	i.rdFree++
+	i.stats.ReadOcc.Add(-1)
+	i.stats.ReadLat.Exit()
+	i.stats.LinesOut.Inc()
+	if done != nil {
+		done()
+	}
+	fire(&i.rdWaiters, &i.rdRot)
+}
+
+func (i *IIO) submitEvent(arg any) { i.cha.Submit(arg.(*mem.Request)) }
 
 // New builds an IIO bound to an ingress (a CHA, or a NUMA router).
 func New(eng *sim.Engine, cfg Config, c mem.Submitter) *IIO {
@@ -119,6 +178,7 @@ func New(eng *sim.Engine, cfg Config, c mem.Submitter) *IIO {
 	}
 	i.wrLinkWaker = sim.NewWaker(eng, func() { fire(&i.wrWaiters, &i.wrRot) })
 	i.rdPaceWaker = sim.NewWaker(eng, func() { fire(&i.rdWaiters, &i.rdRot) })
+	i.submitFn = i.submitEvent
 	return i
 }
 
@@ -185,18 +245,9 @@ func (i *IIO) TryWrite(addr mem.Addr, origin int, done func()) bool {
 	r.Done = func(*mem.Request) {
 		// WPQ (or DDIO LLC) admission: the credit returns after the
 		// completion notification propagates back.
-		i.eng.After(i.cfg.CreditReturn, func() {
-			i.wrFree++
-			i.stats.WriteOcc.Add(-1)
-			i.stats.WriteLat.Exit()
-			i.stats.LinesIn.Inc()
-			if done != nil {
-				done()
-			}
-			fire(&i.wrWaiters, &i.wrRot)
-		})
+		i.eng.AfterFunc(i.cfg.CreditReturn, creditReturnEvent, i.newDoneArg(done))
 	}
-	i.eng.At(arrive+i.cfg.ToCHA, func() { i.cha.Submit(r) })
+	i.eng.AtFunc(arrive+i.cfg.ToCHA, i.submitFn, r)
 	return true
 }
 
@@ -234,17 +285,8 @@ func (i *IIO) TryRead(addr mem.Addr, origin int, done func()) bool {
 			dnStart = n
 		}
 		i.dnFreeAt = dnStart + i.cfg.LinePeriodDown
-		i.eng.At(i.dnFreeAt, func() {
-			i.rdFree++
-			i.stats.ReadOcc.Add(-1)
-			i.stats.ReadLat.Exit()
-			i.stats.LinesOut.Inc()
-			if done != nil {
-				done()
-			}
-			fire(&i.rdWaiters, &i.rdRot)
-		})
+		i.eng.AtFunc(i.dnFreeAt, readDeliveredEvent, i.newDoneArg(done))
 	}
-	i.eng.At(now+i.cfg.ReqToIIO+i.cfg.ToCHA, func() { i.cha.Submit(r) })
+	i.eng.AtFunc(now+i.cfg.ReqToIIO+i.cfg.ToCHA, i.submitFn, r)
 	return true
 }

@@ -95,6 +95,38 @@ type dctcpPacket struct {
 	lines int // remaining lines to DMA
 }
 
+// Package-level event dispatchers: the flow and packet pointers already
+// carry everything the delayed steps need, so scheduling through them
+// allocates nothing beyond the packet itself.
+
+// retransEvent re-attempts a window-limited flow after its retry timer.
+func retransEvent(arg any) {
+	f := arg.(*dctcpFlow)
+	f.rx.trySend(f)
+}
+
+// nicArriveEvent lands a packet at the NIC after the one-way delay.
+func nicArriveEvent(arg any) {
+	p := arg.(*dctcpPacket)
+	p.flow.rx.nicArrive(p)
+}
+
+// dropRecoverEvent applies the loss response an RTO-ish delay after a drop.
+func dropRecoverEvent(arg any) {
+	p := arg.(*dctcpPacket)
+	f := p.flow
+	f.inflight -= p.bytes
+	// Loss response: multiplicative decrease.
+	f.cwnd = max(f.cwnd/2, float64(f.rx.cfg.MSS))
+	f.rx.trySend(f)
+}
+
+// ackEvent delivers a (delayed) acknowledgment back at the sender.
+func ackEvent(arg any) {
+	p := arg.(*dctcpPacket)
+	p.flow.rx.ack(p.flow, p.bytes, p.ecn)
+}
+
 // NewDCTCPReceiver builds the receiver; attach each flow's copier to a host
 // core via Copiers, then Start.
 func NewDCTCPReceiver(eng *sim.Engine, cfg DCTCPConfig, io *iio.IIO) *DCTCPReceiver {
@@ -154,7 +186,7 @@ func (r *DCTCPReceiver) trySend(f *dctcpFlow) {
 			// rwnd-limited case where acks carry the window update).
 			if f.retransAt <= r.eng.Now() {
 				f.retransAt = r.eng.Now() + r.cfg.RTT
-				r.eng.At(f.retransAt, func() { r.trySend(f) })
+				r.eng.AtFunc(f.retransAt, retransEvent, f)
 			}
 			return
 		}
@@ -162,7 +194,7 @@ func (r *DCTCPReceiver) trySend(f *dctcpFlow) {
 		r.Sent.Inc()
 		pkt := &dctcpPacket{flow: f, bytes: r.cfg.MSS}
 		// One-way delay, then NIC arrival.
-		r.eng.After(r.cfg.RTT/2, func() { r.nicArrive(pkt) })
+		r.eng.AfterFunc(r.cfg.RTT/2, nicArriveEvent, pkt)
 	}
 }
 
@@ -171,13 +203,7 @@ func (r *DCTCPReceiver) nicArrive(p *dctcpPacket) {
 	if r.queue+p.bytes > r.cfg.QueueCap {
 		// Drop: the ack never comes; recover after an RTO-ish delay.
 		r.Drops.Inc()
-		f := p.flow
-		r.eng.After(2*r.cfg.RTT, func() {
-			f.inflight -= p.bytes
-			// Loss response: multiplicative decrease.
-			f.cwnd = max(f.cwnd/2, float64(r.cfg.MSS))
-			r.trySend(f)
-		})
+		r.eng.AfterFunc(2*r.cfg.RTT, dropRecoverEvent, p)
 		return
 	}
 	p.ecn = r.queue >= r.cfg.ECNThresh
@@ -225,8 +251,7 @@ func (r *DCTCPReceiver) packetDelivered(p *dctcpPacket) {
 	f := p.flow
 	f.sockBytes += p.bytes
 	f.copier.wake()
-	ecn := p.ecn
-	r.eng.After(r.cfg.RTT/2, func() { r.ack(f, p.bytes, ecn) })
+	r.eng.AfterFunc(r.cfg.RTT/2, ackEvent, p)
 }
 
 // ack processes a (delayed) acknowledgment at the sender: DCTCP window math.

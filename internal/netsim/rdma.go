@@ -58,6 +58,7 @@ type RDMAWrite struct {
 	xoff     bool // pause asserted at the NIC
 	nextLine int64
 	waiting  bool
+	arriveFn sim.EventFunc // bound arrival handler: one event per wire line
 
 	// Delivered counts lines whose DMA completed (the app-visible
 	// throughput of the RDMA transfer).
@@ -73,7 +74,7 @@ func NewRDMAWrite(eng *sim.Engine, cfg RDMAWriteConfig, io *iio.IIO) *RDMAWrite 
 	if cfg.PauseLo >= cfg.PauseHi || cfg.PauseHi > cfg.QueueCapLines {
 		panic("netsim: PFC thresholds must satisfy lo < hi <= cap")
 	}
-	return &RDMAWrite{
+	w := &RDMAWrite{
 		eng:       eng,
 		cfg:       cfg,
 		io:        io,
@@ -81,12 +82,16 @@ func NewRDMAWrite(eng *sim.Engine, cfg RDMAWriteConfig, io *iio.IIO) *RDMAWrite 
 		PauseFrac: telemetry.NewFracTimer(eng),
 		QueueOcc:  telemetry.NewIntegrator(eng),
 	}
+	w.arriveFn = w.arriveEvent
+	return w
 }
 
 // Start begins wire arrivals at time t.
 func (r *RDMAWrite) Start(t sim.Time) {
-	r.eng.At(t, r.arrive)
+	r.eng.AtFunc(t, r.arriveFn, nil)
 }
+
+func (r *RDMAWrite) arriveEvent(any) { r.arrive() }
 
 // arrive models one cacheline landing from the wire.
 func (r *RDMAWrite) arrive() {
@@ -100,7 +105,13 @@ func (r *RDMAWrite) arrive() {
 		r.updatePFC()
 		r.pump()
 	}
-	r.eng.After(r.cfg.LinePeriod, r.arrive)
+	r.eng.AfterFunc(r.cfg.LinePeriod, r.arriveFn, nil)
+}
+
+// pfcApplyEvent lands a pause/resume at the sender after propagation.
+func pfcApplyEvent(arg any) {
+	r := arg.(*RDMAWrite)
+	r.paused = r.xoff
 }
 
 // updatePFC asserts/deasserts pause with propagation delay.
@@ -108,11 +119,11 @@ func (r *RDMAWrite) updatePFC() {
 	if !r.xoff && r.queue >= r.cfg.PauseHi {
 		r.xoff = true
 		r.PauseFrac.Set(true)
-		r.eng.After(r.cfg.PauseDelay, func() { r.paused = r.xoff })
+		r.eng.AfterFunc(r.cfg.PauseDelay, pfcApplyEvent, r)
 	} else if r.xoff && r.queue <= r.cfg.PauseLo {
 		r.xoff = false
 		r.PauseFrac.Set(false)
-		r.eng.After(r.cfg.PauseDelay, func() { r.paused = r.xoff })
+		r.eng.AfterFunc(r.cfg.PauseDelay, pfcApplyEvent, r)
 	}
 }
 
@@ -155,23 +166,28 @@ type RDMARead struct {
 	nextLine int64
 	paceAt   sim.Time
 	waiting  bool
+	pumpFn   sim.EventFunc // bound pump handler: one event per paced line
 
 	Delivered *telemetry.Counter
 }
 
 // NewRDMARead builds the read responder.
 func NewRDMARead(eng *sim.Engine, cfg RDMAWriteConfig, io *iio.IIO) *RDMARead {
-	return &RDMARead{eng: eng, cfg: cfg, io: io, Delivered: telemetry.NewCounter(eng)}
+	rd := &RDMARead{eng: eng, cfg: cfg, io: io, Delivered: telemetry.NewCounter(eng)}
+	rd.pumpFn = rd.pumpEvent
+	return rd
 }
 
 // Start begins serving the read stream at time t.
-func (r *RDMARead) Start(t sim.Time) { r.eng.At(t, r.pump) }
+func (r *RDMARead) Start(t sim.Time) { r.eng.AtFunc(t, r.pumpFn, nil) }
+
+func (r *RDMARead) pumpEvent(any) { r.pump() }
 
 func (r *RDMARead) pump() {
 	for {
 		now := r.eng.Now()
 		if r.paceAt > now {
-			r.eng.At(r.paceAt, r.pump)
+			r.eng.AtFunc(r.paceAt, r.pumpFn, nil)
 			return
 		}
 		addr := r.cfg.BufBase + mem.Addr((r.nextLine*mem.LineSize)%r.cfg.BufBytes)

@@ -64,6 +64,11 @@ type Router struct {
 
 	freeAt [2]sim.Time // per-direction link serialization
 	stats  *Stats
+
+	// Per-direction bound handlers, created once so link-idle checks and
+	// home-socket submissions schedule without allocating closures.
+	idleFn   [2]sim.EventFunc
+	submitFn [2]sim.EventFunc
 }
 
 // New builds a router over two home CHAs; homeOf maps an address to its
@@ -81,6 +86,17 @@ func New(eng *sim.Engine, cfg Config, cha0, cha1 mem.Submitter, homeOf func(mem.
 	}
 	r.stats.LinkBusy[0] = telemetry.NewFracTimer(eng)
 	r.stats.LinkBusy[1] = telemetry.NewFracTimer(eng)
+	for d := 0; d < 2; d++ {
+		d := d
+		// A reservation that is still the latest at its own end time means
+		// the link went idle (a later reservation would have moved freeAt).
+		r.idleFn[d] = func(any) {
+			if r.freeAt[d] == r.eng.Now() {
+				r.stats.LinkBusy[d].Set(false)
+			}
+		}
+		r.submitFn[d] = func(arg any) { r.chas[d].Submit(arg.(*mem.Request)) }
+	}
 	return r
 }
 
@@ -136,7 +152,7 @@ func (p *port) Submit(req *mem.Request) {
 			}
 		})
 	}
-	r.eng.After(outSer+r.cfg.ReqLatency, func() { r.chas[home].Submit(req) })
+	r.eng.AfterFunc(outSer+r.cfg.ReqLatency, r.submitFn[home], req)
 }
 
 // serialize reserves the next line slot on one link direction and returns
@@ -148,13 +164,7 @@ func (r *Router) serialize(dir int) sim.Time {
 		start = now
 	}
 	r.freeAt[dir] = start + r.cfg.LinePeriod
-	busy := r.stats.LinkBusy[dir]
-	busy.Set(true)
-	end := r.freeAt[dir]
-	r.eng.At(end, func() {
-		if r.freeAt[dir] == end {
-			busy.Set(false)
-		}
-	})
+	r.stats.LinkBusy[dir].Set(true)
+	r.eng.AtFunc(r.freeAt[dir], r.idleFn[dir], nil)
 	return r.freeAt[dir] - now
 }

@@ -124,16 +124,20 @@ func (s *Storage) Start(t sim.Time) {
 	})
 }
 
+// armedEvent makes a request issuable once its device-internal latency ends.
+func armedEvent(arg any) {
+	s := arg.(*Storage)
+	s.arming--
+	lines := s.cfg.RequestBytes / mem.LineSize
+	s.active = append(s.active, &request{toIssue: lines, toComplete: lines})
+	s.pump()
+}
+
 // armRequest starts the device-internal latency for one request, then makes
 // it issuable.
 func (s *Storage) armRequest() {
 	s.arming++
-	s.eng.After(s.cfg.DeviceDelay, func() {
-		s.arming--
-		lines := s.cfg.RequestBytes / mem.LineSize
-		s.active = append(s.active, &request{toIssue: lines, toComplete: lines})
-		s.pump()
-	})
+	s.eng.AfterFunc(s.cfg.DeviceDelay, armedEvent, s)
 }
 
 // pump issues lines for active requests in order until credits run out.

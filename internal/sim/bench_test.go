@@ -1,0 +1,119 @@
+package sim
+
+import "testing"
+
+// The micro-benchmarks below pin the engine's steady-state cost and, with
+// -benchmem, its per-event allocation count. CI runs them once
+// (-benchtime=1x) and fails if the scheduling benchmarks report nonzero
+// allocs/op; BENCH_engine.json at the repo root records the before/after
+// trajectory of the container/heap -> flat 4-ary heap rewrite.
+
+// BenchmarkScheduleRun measures one schedule+dispatch round trip: the cost
+// every simulated event pays. The callback is hoisted so the benchmark sees
+// only the engine's own work (push, pop, dispatch), not closure creation.
+func BenchmarkScheduleRun(b *testing.B) {
+	e := New()
+	n := 0
+	fn := func() { n++ }
+	e.At(0, fn) // pre-grow the heap so -benchtime=1x is already steady state
+	e.Step()
+	n = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(Time(i), fn)
+		e.Step()
+	}
+	if n != b.N {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}
+
+// BenchmarkEngineThroughput measures the raw event loop under a pending
+// window of 256 events — the cache-resident push/pop regime every component
+// of the simulator drives. ns/op here is the engine's per-event floor.
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := New()
+	n := 0
+	fn := func() { n++ }
+	const window = 256
+	for i := 0; i < window; i++ {
+		e.At(Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+		e.At(e.Now()+window, fn)
+	}
+	b.StopTimer()
+	e.Run()
+}
+
+// BenchmarkWakerChurn measures the supersede/absorb path of a hot Waker:
+// one arm, one absorbed duplicate, one dispatch — the pattern the DRAM
+// channel scheduler and CHA admission stage generate per request.
+func BenchmarkWakerChurn(b *testing.B) {
+	e := New()
+	n := 0
+	w := NewWaker(e, func() { n++ })
+	w.WakeAt(0) // pre-grow the heap so -benchtime=1x is already steady state
+	e.Step()
+	n = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.WakeAt(Time(i))
+		w.WakeAt(Time(i + 1)) // absorbed: a wake is already pending earlier
+		e.Step()
+	}
+	if n != b.N {
+		b.Fatalf("ran %d wakes, want %d", n, b.N)
+	}
+}
+
+// benchHeapPattern keeps a fixed number of events pending and replaces the
+// popped event each step, so b.N operations all run at the given heap depth
+// with the given arrival pattern.
+func benchHeapPattern(b *testing.B, depth int, next func(i int) Time) {
+	e := New()
+	fn := func() {}
+	for i := 0; i < depth; i++ {
+		e.At(next(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+		t := next(depth + i)
+		if t < e.Now() {
+			t = e.Now()
+		}
+		e.At(t, fn)
+	}
+	b.StopTimer()
+	e.Run()
+}
+
+// BenchmarkHeapPushPopAscending: FIFO-ish arrivals (timer wheels, paced
+// links) — every push lands at the heap's far end.
+func BenchmarkHeapPushPopAscending(b *testing.B) {
+	benchHeapPattern(b, 512, func(i int) Time { return Time(i) })
+}
+
+// BenchmarkHeapPushPopSameInstant: bursts at one timestamp (a drained
+// backlog re-waking its clients) — ordering falls to the seq tiebreak.
+func BenchmarkHeapPushPopSameInstant(b *testing.B) {
+	benchHeapPattern(b, 512, func(i int) Time { return 0 })
+}
+
+// BenchmarkHeapPushPopRandom: uncorrelated arrival times (colliding
+// components with unrelated latencies) — the sift-heavy worst case.
+func BenchmarkHeapPushPopRandom(b *testing.B) {
+	rng := RNG(0xbeac4)
+	times := make([]Time, 1<<16)
+	for i := range times {
+		times[i] = Time(rng.Uint64N(1 << 20))
+	}
+	benchHeapPattern(b, 512, func(i int) Time { return times[i&(1<<16-1)] })
+}

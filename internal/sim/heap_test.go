@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestHeapMatchesReferenceModel drives the engine with random interleavings
+// of At, After, and Step and checks every dispatch against a reference model
+// (the same events ordered by sort.Slice on (time, seq)). This pins the
+// 4-ary heap's pop order to the exact (time, seq) contract the rest of the
+// simulator's determinism rests on.
+func TestHeapMatchesReferenceModel(t *testing.T) {
+	type ref struct {
+		at  Time
+		seq int // scheduling order
+	}
+	f := func(ops []uint32) bool {
+		e := New()
+		var model []ref
+		var got []ref
+		seq := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1: // At: absolute time in a small range for collisions
+				at := Time(op % 509)
+				if at < e.Now() {
+					at = e.Now()
+				}
+				r := ref{at: at, seq: seq}
+				seq++
+				model = append(model, r)
+				e.At(at, func() { got = append(got, ref{e.Now(), r.seq}) })
+			case 2: // After: relative delay
+				at := e.Now() + Time(op%97)
+				r := ref{at: at, seq: seq}
+				seq++
+				model = append(model, r)
+				e.After(at-e.Now(), func() { got = append(got, ref{e.Now(), r.seq}) })
+			case 3: // Step: interleave dispatch with scheduling
+				e.Step()
+			}
+		}
+		e.Run()
+		if len(got) != len(model) {
+			return false
+		}
+		// The reference: stable sort by time keeps scheduling order within
+		// an instant, which is exactly the (time, seq) contract.
+		sort.SliceStable(model, func(i, j int) bool { return model[i].at < model[j].at })
+		for i := range model {
+			if got[i].at != model[i].at || got[i].seq != model[i].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAtFuncPassesArg pins the closure-free path's contract: the scheduled
+// function receives exactly the argument it was scheduled with.
+func TestAtFuncPassesArg(t *testing.T) {
+	e := New()
+	type payload struct{ n int }
+	var got []int
+	record := func(arg any) { got = append(got, arg.(*payload).n) }
+	e.AtFunc(20, record, &payload{n: 2})
+	e.AtFunc(10, record, &payload{n: 1})
+	e.AfterFunc(30, record, &payload{n: 3})
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got = %v, want [1 2 3]", got)
+	}
+}
+
+// TestSteadyStateSchedulingZeroAlloc is the allocation gate behind the CI
+// bench smoke step, enforced on every plain `go test` run: steady-state
+// scheduling through AtFunc, the At/After compatibility wrappers (with a
+// reused callback), and Waker arming must not allocate. The heap is
+// pre-grown so slice growth (a one-time, amortized cost) is excluded.
+func TestSteadyStateSchedulingZeroAlloc(t *testing.T) {
+	e := New()
+	fn := func() {}
+	w := NewWaker(e, fn)
+	handler := func(any) {}
+	for i := 0; i < 64; i++ { // pre-grow the heap's backing array
+		e.At(Time(i), fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		now := e.Now()
+		e.AtFunc(now+5, handler, w)
+		e.After(10, fn)
+		w.WakeAt(now + 7)
+		w.WakeAt(now + 2) // supersede
+		e.RunUntil(now + 20)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state scheduling allocated %v per run, want 0", allocs)
+	}
+}
+
+// TestHeapDeepOrdering exercises sift-down through several 4-ary levels
+// (hundreds of pending events) against a full reference ordering.
+func TestHeapDeepOrdering(t *testing.T) {
+	e := New()
+	rng := RNG(99)
+	const n = 2000
+	var want []Time
+	var got []Time
+	for i := 0; i < n; i++ {
+		at := Time(rng.Uint64N(1000)) // heavy collisions: seq must break ties
+		want = append(want, at)
+		e.At(at, func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	sort.SliceStable(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != n {
+		t.Fatalf("dispatched %d of %d events", len(got), n)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -22,6 +22,20 @@ func NewWaker(eng *Engine, fn func()) *Waker {
 // Wake requests a callback now (i.e., as a fresh event at the current time).
 func (w *Waker) Wake() { w.WakeAt(w.eng.Now()) }
 
+// wakerFire dispatches a waker's scheduled event. The event's own timestamp
+// (the engine clock at dispatch) identifies it: a later WakeAt may have
+// superseded this event with an earlier one, in which case pendingAt no
+// longer matches and the stale event must not fire. Sharing one
+// package-level handler keeps WakeAt allocation-free.
+func wakerFire(arg any) {
+	w := arg.(*Waker)
+	if !w.pending || w.pendingAt != w.eng.now {
+		return
+	}
+	w.pending = false
+	w.fn()
+}
+
 // WakeAt requests a callback at absolute time t. If a wake-up is already
 // pending at or before t, the request is absorbed.
 func (w *Waker) WakeAt(t Time) {
@@ -33,16 +47,7 @@ func (w *Waker) WakeAt(t Time) {
 	}
 	w.pending = true
 	w.pendingAt = t
-	target := t
-	w.eng.At(t, func() {
-		// A later WakeAt may have superseded this event with an earlier
-		// one; only fire if this event is still the active wake-up.
-		if !w.pending || w.pendingAt != target {
-			return
-		}
-		w.pending = false
-		w.fn()
-	})
+	w.eng.AtFunc(t, wakerFire, w)
 }
 
 // RNG returns a deterministic PCG-based random source for the given stream

@@ -210,16 +210,27 @@ func (f *FracTimer) Reset() {
 // and summarizes them as a CDF.
 type Samples struct {
 	xs []float64
+	// sorted memoizes the sorted view so repeated quantile reads (every
+	// percentile of a rendered CDF) sort the window once instead of
+	// re-copying and re-sorting the full sample slice per call. Add and
+	// Reset invalidate it; the backing array is reused across windows.
+	sorted []float64
 }
 
 // Add records one observation.
-func (s *Samples) Add(x float64) { s.xs = append(s.xs, x) }
+func (s *Samples) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = s.sorted[:0]
+}
 
 // Len reports the number of observations.
 func (s *Samples) Len() int { return len(s.xs) }
 
 // Reset discards all observations.
-func (s *Samples) Reset() { s.xs = s.xs[:0] }
+func (s *Samples) Reset() {
+	s.xs = s.xs[:0]
+	s.sorted = s.sorted[:0]
+}
 
 // Quantile reports the q-quantile (q in [0,1]) of the observations, or 0 if
 // none were recorded.
@@ -227,16 +238,18 @@ func (s *Samples) Quantile(q float64) float64 {
 	if len(s.xs) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), s.xs...)
-	sort.Float64s(sorted)
+	if len(s.sorted) != len(s.xs) {
+		s.sorted = append(s.sorted[:0], s.xs...)
+		sort.Float64s(s.sorted)
+	}
 	if q <= 0 {
-		return sorted[0]
+		return s.sorted[0]
 	}
 	if q >= 1 {
-		return sorted[len(sorted)-1]
+		return s.sorted[len(s.sorted)-1]
 	}
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
+	idx := int(q * float64(len(s.sorted)-1))
+	return s.sorted[idx]
 }
 
 // FracAtLeast reports the fraction of observations >= x.

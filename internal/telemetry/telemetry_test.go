@@ -274,3 +274,50 @@ func TestHistogramMonotonePercentilesProperty(t *testing.T) {
 		prev = v
 	}
 }
+
+// TestSamplesQuantileMemoInvalidation pins the memoized-sort contract: the
+// quantile view must reflect samples added or discarded after a prior
+// Quantile call sorted the window.
+func TestSamplesQuantileMemoInvalidation(t *testing.T) {
+	var s Samples
+	s.Add(10)
+	s.Add(20)
+	if got := s.Quantile(1); got != 20 {
+		t.Fatalf("Quantile(1) = %v, want 20", got)
+	}
+	s.Add(5) // must invalidate the memoized sorted view
+	if got := s.Quantile(0); got != 5 {
+		t.Fatalf("Quantile(0) after Add = %v, want 5", got)
+	}
+	if got := s.Quantile(1); got != 20 {
+		t.Fatalf("Quantile(1) after Add = %v, want 20", got)
+	}
+	s.Reset()
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("Quantile after Reset = %v, want 0", got)
+	}
+	s.Add(7)
+	if got := s.Quantile(0.5); got != 7 {
+		t.Fatalf("Quantile after Reset+Add = %v, want 7", got)
+	}
+}
+
+// TestSamplesQuantileRepeatedReadsAllocFree verifies the memoization goal:
+// after the first sort, further quantile reads of an unchanged window do
+// not copy or sort.
+func TestSamplesQuantileRepeatedReadsAllocFree(t *testing.T) {
+	var s Samples
+	r := sim.RNG(11)
+	for i := 0; i < 1000; i++ {
+		s.Add(r.Float64())
+	}
+	s.Quantile(0.5) // first read sorts and memoizes
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			s.Quantile(q)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("repeated Quantile reads allocated %v per run, want 0", allocs)
+	}
+}
