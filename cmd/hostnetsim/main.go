@@ -16,6 +16,10 @@
 //	-ddio     enable DDIO for the quadrant experiments
 //	-parallel worker-pool size for multi-point sweeps (0 = one per CPU,
 //	          1 = serial); results are bit-identical at any setting
+//	-audit    run every experiment under the invariant auditor: credit
+//	          pools are checked for conservation between events and latency
+//	          probes cross-checked against direct timestamps; any violation
+//	          aborts with the domain, counter, and simulated time
 //
 // Profiling (see README "Performance & profiling"):
 //
@@ -49,6 +53,7 @@ func realMain() int {
 	window := flag.Duration("window", 100*time.Microsecond, "measurement window (simulated)")
 	warmup := flag.Duration("warmup", 20*time.Microsecond, "warmup before measuring (simulated)")
 	ddio := flag.Bool("ddio", false, "enable DDIO in quadrant experiments")
+	auditOn := flag.Bool("audit", false, "check credit-conservation invariants during every run")
 	csvOut := flag.Bool("csv", false, "emit quadrant experiments as CSV instead of tables")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
@@ -103,6 +108,9 @@ func realMain() int {
 	opt.Warmup = sim.Time(warmup.Nanoseconds()) * sim.Nanosecond
 	opt.DDIO = *ddio
 	opt.Parallelism = *parallel
+	if *auditOn {
+		opt.Audit = true
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -202,10 +210,12 @@ func run(opt hostnet.Options, names ...string) int {
 			fmt.Fprintf(w, "  degradation ratio: %.2fx off vs %.2fx on (roughly unchanged)\n\n",
 				s.DegradationOff(), s.DegradationOn())
 		case "cxl":
-			iso := hostnet.NewWithCXL(hostnet.CascadeLake(), hostnet.DefaultCXLConfig())
+			cfg := hostnet.CascadeLake()
+			cfg.Audit = hostnet.AuditConfig{Enabled: opt.Audit, FailFast: true}
+			iso := hostnet.NewWithCXL(cfg, hostnet.DefaultCXLConfig())
 			iso.AddCore(hostnet.SeqRead(iso.CXLRegion(1<<30), 1<<30))
 			iso.Run(opt.Warmup, opt.Window)
-			co := hostnet.NewWithCXL(hostnet.CascadeLake(), hostnet.DefaultCXLConfig())
+			co := hostnet.NewWithCXL(cfg, hostnet.DefaultCXLConfig())
 			co.AddCore(hostnet.SeqRead(co.CXLRegion(1<<30), 1<<30))
 			co.AddStorage(hostnet.BulkStorage(hostnet.DMAWrite, co.Region(1<<30)))
 			co.Run(opt.Warmup, opt.Window)
@@ -278,7 +288,7 @@ func head(xs []int, n int) []int {
 
 // boolFlags are the flags that take no value argument; every other flag
 // consumes the following token when written as "-flag value".
-var boolFlags = map[string]bool{"ddio": true, "csv": true}
+var boolFlags = map[string]bool{"ddio": true, "csv": true, "audit": true}
 
 // reorderArgs moves flag tokens ahead of experiment names so that
 // "hostnetsim fig3 -parallel 8" works; the standard flag package stops

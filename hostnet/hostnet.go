@@ -23,6 +23,7 @@ package hostnet
 import (
 	"io"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/cxl"
@@ -78,6 +79,17 @@ type (
 	// CXLConfig models a CXL.mem expander and its link (§7 "new
 	// interconnects").
 	CXLConfig = cxl.Config
+	// AuditConfig tunes the invariant auditor (Config.Audit). The zero
+	// value disables auditing at zero overhead; set Enabled to have every
+	// credit domain check conservation between events and cross-check its
+	// latency probes against direct per-request timestamps at end of window.
+	AuditConfig = audit.Config
+	// AuditViolation is one detected invariant breach, attributed to the
+	// owning domain and counter at a simulated timestamp.
+	AuditViolation = audit.Violation
+	// Auditor collects violations (or panics, under FailFast); reach it via
+	// Host.Auditor / DualHost.Auditor.
+	Auditor = audit.Auditor
 )
 
 // Time units.
@@ -217,6 +229,16 @@ func DefaultOptions() Options { return exp.Defaults() }
 // output (the determinism tests in internal/exp pin this).
 func WithParallelism(opt Options, n int) Options {
 	opt.Parallelism = n
+	return opt
+}
+
+// WithAudit returns opt with invariant auditing switched on or off for every
+// host the experiment builds. Audited runs fail fast: any conservation
+// violation panics with the domain, counter, and simulated timestamp.
+// Auditing never schedules events or perturbs state, so results are
+// identical either way; it only costs wall-clock time.
+func WithAudit(opt Options, on bool) Options {
+	opt.Audit = on
 	return opt
 }
 

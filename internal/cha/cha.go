@@ -16,6 +16,7 @@ package cha
 import (
 	"math/rand/v2"
 
+	"repro/internal/audit"
 	"repro/internal/cache"
 	"repro/internal/dram"
 	"repro/internal/mem"
@@ -52,6 +53,12 @@ type Config struct {
 	// traffic into the memory controller.
 	DDIOEvictionReadFrac float64
 	Seed                 uint64
+
+	// Audit, when non-nil, receives the CHA's entry-pool and probe
+	// invariants; AuditDomain overrides the default "cha" domain label
+	// (multi-socket hosts disambiguate per socket).
+	Audit       *audit.Auditor
+	AuditDomain string
 }
 
 // DefaultConfig returns the Cascade-Lake-calibrated CHA parameters.
@@ -130,6 +137,7 @@ type CHA struct {
 	admitQ     []*mem.Request
 	readRetry  []*mem.Request // admitted reads waiting for RPQ space
 	wBacklog   []*mem.Request // admitted writes waiting for WPQ space
+	dirPending []*mem.Request // directory reads waiting for a read entry
 
 	// Bound handlers, created once at construction so the per-request
 	// pipeline stages schedule without allocating closures; ddioFree pools
@@ -209,6 +217,22 @@ func New(eng *sim.Engine, cfg Config, mc *dram.Controller, ddio *cache.DDIO) *CH
 	c.returnFn = c.returnEvent
 	c.readDoneFn = c.readDoneEvent
 	mc.SetClient(c)
+	if aud := cfg.Audit; aud.Enabled() {
+		domain := cfg.AuditDomain
+		if domain == "" {
+			domain = "cha"
+		}
+		aud.Pool(domain, "read_entries", cfg.ReadEntries, func() int { return cfg.ReadEntries - c.readInUse })
+		aud.Pool(domain, "write_entries", cfg.WriteEntries, func() int { return cfg.WriteEntries - c.writeInUse })
+		aud.Gauge(domain, "read_entries_occ", c.stats.ReadEntriesOcc, func() int { return c.readInUse })
+		aud.Gauge(domain, "write_entries_occ", c.stats.WriteEntriesOcc, func() int { return c.writeInUse })
+		aud.Gauge(domain, "wbacklog", c.stats.WBacklog, func() int { return len(c.wBacklog) })
+		aud.Latency(domain, "admit_lat", c.stats.AdmitLat)
+		aud.Latency(domain, "read_mc_lat_c2m", c.stats.ReadMCLat[0])
+		aud.Latency(domain, "read_mc_lat_p2m", c.stats.ReadMCLat[1])
+		aud.Latency(domain, "write_mc_lat_c2m", c.stats.WriteMCLat[0])
+		aud.Latency(domain, "write_mc_lat_p2m", c.stats.WriteMCLat[1])
+	}
 	return c
 }
 
@@ -292,6 +316,7 @@ func (c *CHA) freeRead(r *mem.Request) {
 	if r.Source == mem.P2M {
 		c.stats.P2MReadsInflight.Add(-1)
 	}
+	c.drainDirectoryReads()
 	c.tryAdmit()
 }
 
@@ -366,13 +391,19 @@ func (c *CHA) finishDDIOWrite(r *mem.Request, wb mem.Addr, hasWB bool) {
 			c.directoryRead(r.Origin, wb)
 		}
 	} else {
+		// The write's CHA->MC journey ends at the LLC: close its WriteMCLat
+		// sample. (Evicting writes instead hand the sample to the writeback,
+		// which exits in drainWrites at WPQ admission.)
+		c.stats.WriteMCLat[r.Source].Exit()
 		c.freeWrite()
 	}
 }
 
 // directoryRead injects the eviction-handling coherence read (the DDIO
 // penalty hypothesis). It occupies a CHA read entry and the RPQ like any
-// other P2M read but holds no IIO credit.
+// other P2M read but holds no IIO credit; when the read-entry pool is
+// exhausted it parks until an entry frees rather than overcommitting the
+// pool.
 func (c *CHA) directoryRead(origin int, addr mem.Addr) {
 	r := &mem.Request{
 		Addr:   addr,
@@ -383,10 +414,21 @@ func (c *CHA) directoryRead(origin int, addr mem.Addr) {
 	}
 	r.TCHAEnter = c.eng.Now()
 	r.TCHAAdmit = c.eng.Now()
-	c.readInUse++
-	c.stats.ReadEntriesOcc.Add(1)
-	c.stats.P2MReadsInflight.Add(1)
-	c.dispatch(r)
+	c.dirPending = append(c.dirPending, r)
+	c.drainDirectoryReads()
+}
+
+// drainDirectoryReads dispatches parked directory reads while read entries
+// are available.
+func (c *CHA) drainDirectoryReads() {
+	for len(c.dirPending) > 0 && c.readInUse < c.cfg.ReadEntries {
+		r := c.dirPending[0]
+		c.dirPending = c.dirPending[1:]
+		c.readInUse++
+		c.stats.ReadEntriesOcc.Add(1)
+		c.stats.P2MReadsInflight.Add(1)
+		c.dispatch(r)
+	}
 }
 
 // dispatch sends a miss to the memory controller.

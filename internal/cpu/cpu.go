@@ -12,6 +12,9 @@
 package cpu
 
 import (
+	"fmt"
+
+	"repro/internal/audit"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -45,6 +48,8 @@ type Config struct {
 	// stream prefetcher (each core gets its own copy). Nil disables
 	// prefetching, matching the paper's quadrant characterization setup.
 	Prefetch *Prefetcher
+	// Audit, when non-nil, receives the core's LFB invariants.
+	Audit *audit.Auditor
 }
 
 // DefaultConfig returns the Cascade-Lake-calibrated core parameters.
@@ -174,6 +179,12 @@ func New(eng *sim.Engine, cfg Config, index int, c mem.Submitter, gen Generator)
 	}
 	core.waker = sim.NewWaker(eng, core.pump)
 	core.submitFn = core.submitEvent
+	if aud := cfg.Audit; aud.Enabled() {
+		domain := fmt.Sprintf("cpu/core%d", index)
+		aud.Pool(domain, "lfb", cfg.LFBEntries, func() int { return core.free })
+		aud.Gauge(domain, "lfb_occ", core.stats.LFBOcc, func() int { return cfg.LFBEntries - core.free })
+		aud.Latency(domain, "lfb_lat", core.stats.LFBLat)
+	}
 	return core
 }
 

@@ -15,6 +15,7 @@
 package cxl
 
 import (
+	"repro/internal/audit"
 	"repro/internal/dram"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -33,6 +34,9 @@ type Config struct {
 	MC     dram.Config
 	// DeviceProc is the expander-side processing per request.
 	DeviceProc sim.Time
+	// Audit, when non-nil, receives the expander's invariants (its internal
+	// memory controller registers under "cxl/mc").
+	Audit *audit.Auditor
 }
 
 // DefaultConfig returns a single-channel DDR-backed expander behind a
@@ -120,10 +124,18 @@ func New(eng *sim.Engine, cfg Config) *Expander {
 			Writes:  telemetry.NewCounter(eng),
 		},
 	}
+	cfg.MC.Audit = cfg.Audit
+	if cfg.MC.AuditDomain == "" {
+		cfg.MC.AuditDomain = "cxl/mc"
+	}
+	e.cfg = cfg
 	e.mc = dram.New(eng, cfg.MC, mem.MustMapper(cfg.Mapper), e)
 	e.arriveFn = e.arriveEvent
 	e.ackFn = e.ackEvent
 	e.readBackFn = e.readBackEvent
+	if aud := cfg.Audit; aud.Enabled() {
+		aud.Latency("cxl", "read_lat", e.stats.ReadLat)
+	}
 	return e
 }
 

@@ -13,6 +13,7 @@ package dram
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -95,6 +96,12 @@ type Config struct {
 	// write backlog no longer starves the P2M-Write domain. 0 disables the
 	// mechanism (the hardware the paper studies has no such isolation).
 	WPQReserveP2M int
+
+	// Audit, when non-nil, receives the controller's RPQ/WPQ invariants;
+	// AuditDomain overrides the default "dram" domain label (the CXL
+	// expander's internal controller registers as "cxl/mc").
+	Audit       *audit.Auditor
+	AuditDomain string
 }
 
 // DefaultConfig returns the Cascade-Lake-calibrated controller parameters.
@@ -292,6 +299,44 @@ func New(eng *sim.Engine, cfg Config, mapper *mem.Mapper, client Client) *Contro
 		ch.waker = sim.NewWaker(eng, ch.kick)
 		ch.burstFn = ch.burstDoneEvent
 		c.chans = append(c.chans, ch)
+	}
+	if aud := cfg.Audit; aud.Enabled() {
+		domain := cfg.AuditDomain
+		if domain == "" {
+			domain = "dram"
+		}
+		for _, ch := range c.chans {
+			ch := ch
+			counter := fmt.Sprintf("ch%d_rpq", ch.idx)
+			aud.Check(domain, counter, func() (bool, string) {
+				if ch.rdCount < 0 || ch.rdCount > cfg.RPQCap || len(ch.rdWait) > ch.rdCount {
+					return false, fmt.Sprintf("rdCount=%d waiting=%d cap=%d", ch.rdCount, len(ch.rdWait), cfg.RPQCap)
+				}
+				return true, ""
+			})
+			counter = fmt.Sprintf("ch%d_wpq", ch.idx)
+			aud.Check(domain, counter, func() (bool, string) {
+				if ch.wrCount < 0 || ch.wrCount > cfg.WPQCap || len(ch.wrWait) > ch.wrCount {
+					return false, fmt.Sprintf("wrCount=%d waiting=%d cap=%d", ch.wrCount, len(ch.wrWait), cfg.WPQCap)
+				}
+				return true, ""
+			})
+		}
+		aud.Gauge(domain, "rpq_occ", c.stats.RPQOcc, func() int {
+			n := 0
+			for _, ch := range c.chans {
+				n += ch.rdCount
+			}
+			return n
+		})
+		aud.Gauge(domain, "wpq_occ", c.stats.WPQOcc, func() int {
+			n := 0
+			for _, ch := range c.chans {
+				n += ch.wrCount
+			}
+			return n
+		})
+		aud.Latency(domain, "read_lat", c.stats.ReadLat)
 	}
 	return c
 }

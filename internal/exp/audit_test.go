@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/hostcc"
+)
+
+// Audited figure smokes: the same experiment paths CI exercises, with the
+// invariant auditor forced on regardless of HOSTNET_AUDIT. Audited
+// experiment hosts fail fast, so any conservation or Little's-law violation
+// panics the test with the domain, counter, and timestamp.
+
+func TestAuditedQuadrantSmoke(t *testing.T) {
+	opt := figOptions(t)
+	opt.Audit = true
+	pts := RunQuadrant(Q3, []int{2}, opt)
+	if len(pts) != 1 || pts[0].Co.C2MBW <= 0 {
+		t.Fatalf("audited quadrant run degenerate: %+v", pts)
+	}
+}
+
+func TestAuditedRDMASmoke(t *testing.T) {
+	opt := figOptions(t)
+	opt.Audit = true
+	pts := RunRDMAQuadrant(Q1, []int{1}, opt)
+	if len(pts) != 1 {
+		t.Fatalf("audited RDMA run degenerate: %+v", pts)
+	}
+}
+
+func TestAuditedDCTCPSmoke(t *testing.T) {
+	opt := figOptions(t)
+	opt.Audit = true
+	pts := RunDCTCP(false, []int{1}, opt)
+	if len(pts) != 1 {
+		t.Fatalf("audited DCTCP run degenerate: %+v", pts)
+	}
+}
+
+func TestAuditedHostCCSmoke(t *testing.T) {
+	opt := figOptions(t)
+	opt.Audit = true
+	s := RunHostCCStudy(Q3, 2, hostcc.DefaultConfig(), opt)
+	if s.C2MIso <= 0 || s.P2MOn <= 0 {
+		t.Fatalf("audited hostCC run degenerate: %+v", s)
+	}
+}

@@ -5,7 +5,10 @@
 package exp
 
 import (
+	"os"
+
 	"repro/internal/analytic"
+	"repro/internal/audit"
 	"repro/internal/host"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -28,6 +31,13 @@ type Options struct {
 	// own host and engine, so results are bit-identical at any setting —
 	// pinned by TestParallelDeterminism*.
 	Parallelism int
+	// Audit enables the invariant auditor on every host the experiment
+	// builds, in fail-fast mode: any conservation violation panics with the
+	// domain, counter, and simulated timestamp. Auditing is observational —
+	// it never schedules events — so results are identical with it on or
+	// off. Defaults() also turns it on when HOSTNET_AUDIT is set, which is
+	// how CI audits every figure smoke test.
+	Audit bool
 }
 
 // Defaults returns the options used throughout §2.2/§5/§6: Cascade Lake,
@@ -39,13 +49,21 @@ func Defaults() Options {
 		Warmup:   20 * sim.Microsecond,
 		Window:   100 * sim.Microsecond,
 		P2MCores: 2,
+		Audit:    os.Getenv("HOSTNET_AUDIT") != "",
 	}
+}
+
+// auditConfig is the experiment-harness audit policy: fail fast, so a
+// violation surfaces as a panic (and a test failure) at the offending event.
+func (o Options) auditConfig() audit.Config {
+	return audit.Config{Enabled: o.Audit, FailFast: true}
 }
 
 func (o Options) newHost() *host.Host {
 	cfg := o.Preset()
 	cfg.DDIO.Enabled = o.DDIO
 	cfg.DDIO.ScrambleEvictions = o.DDIO
+	cfg.Audit = o.auditConfig()
 	return host.New(cfg)
 }
 
@@ -103,6 +121,11 @@ type Measure struct {
 
 // snapshot captures every probe from a finished run window.
 func snapshot(h *host.Host) Measure {
+	// Anchor the end-of-window audit here too: the RDMA/DCTCP experiments
+	// drive Eng.RunUntil directly and never pass through host.Run. Running
+	// CheckEnd twice is harmless (invariant checks are idempotent and
+	// latency cross-checks see the same window).
+	h.Auditor.CheckEnd()
 	var m Measure
 	mc := h.MC.Stats()
 	cs := h.CHA.Stats()

@@ -58,6 +58,7 @@ func RunHostCCStudy(q Quadrant, cores int, cfg hostcc.Config, opt Options) HostC
 	on := opt.newHost()
 	addC2MCores(on, q, cores)
 	addP2MDevice(on, q)
+	cfg.Audit = on.Auditor
 	ctl := hostcc.New(on.Eng, cfg, on.IIO, on.CHA, on.Cores)
 	ctl.Start(0)
 	on.Run(opt.Warmup, opt.Window)

@@ -11,6 +11,7 @@ import (
 // the NIC throughput/pause accessors.
 func addRDMADevice(h *host.Host, q Quadrant) (bw func() float64, pause func() float64, reset func()) {
 	cfg := netsim.DefaultRDMAWriteConfig(h.Region(1 << 30))
+	cfg.Audit = h.Auditor
 	if q.P2MWrites() {
 		nic := netsim.NewRDMAWrite(h.Eng, cfg, h.IIO)
 		nic.Start(0)
@@ -136,6 +137,7 @@ func (p DCTCPPoint) NetAppDegradation() float64 { return degradation(p.NetIso, p
 func dctcpHost(opt Options, memCores int, readWrite bool) (*host.Host, *netsim.DCTCPReceiver) {
 	h := opt.newHost()
 	cfg := netsim.DefaultDCTCPConfig(h.Region(1 << 30))
+	cfg.Audit = h.Auditor
 	rx := netsim.NewDCTCPReceiver(h.Eng, cfg, h.IIO)
 	for i := 0; i < cfg.Flows; i++ {
 		c := h.AddCore(rx.Copier(i))

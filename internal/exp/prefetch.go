@@ -31,6 +31,7 @@ func RunPrefetchStudy(cores int, opt Options) PrefetchStudy {
 		cfg := opt.Preset()
 		cfg.DDIO.Enabled = opt.DDIO
 		cfg.Core.Prefetch = pf
+		cfg.Audit = opt.auditConfig()
 		h := hostFromConfig(cfg)
 		for i := 0; i < cores; i++ {
 			h.AddCore(workload.NewSeqRead(h.Region(1<<30), 1<<30))

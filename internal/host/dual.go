@@ -3,6 +3,7 @@ package host
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/cache"
 	"repro/internal/cha"
 	"repro/internal/cpu"
@@ -37,6 +38,10 @@ type DualHost struct {
 	UPI     *numa.Router
 	Sockets [2]*Socket
 
+	// Auditor is non-nil iff Cfg.Audit.Enabled; both sockets' components
+	// registered their invariants under "s0/"- and "s1/"-prefixed domains.
+	Auditor *audit.Auditor
+
 	Cores       []*cpu.Core
 	coreSockets []int
 	Devices     []*periph.Storage
@@ -45,13 +50,22 @@ type DualHost struct {
 // NewDual assembles two sockets of the given per-socket config.
 func NewDual(cfg Config, upi numa.Config) *DualHost {
 	eng := sim.New()
-	h := &DualHost{Eng: eng, Cfg: cfg}
+	aud := audit.New(eng, cfg.Audit)
+	cfg.Core.Audit = aud
+	upi.Audit = aud
+	h := &DualHost{Eng: eng, Cfg: cfg, Auditor: aud}
 	var chas [2]mem.Submitter
 	for s := 0; s < 2; s++ {
+		mcCfg := cfg.MC
+		mcCfg.Audit = aud
+		mcCfg.AuditDomain = fmt.Sprintf("s%d/dram", s)
+		chaCfg := cfg.CHA
+		chaCfg.Audit = aud
+		chaCfg.AuditDomain = fmt.Sprintf("s%d/cha", s)
 		mapper := mem.MustMapper(cfg.Mapper)
-		mc := dram.New(eng, cfg.MC, mapper, nil)
+		mc := dram.New(eng, mcCfg, mapper, nil)
 		ddio := cache.NewDDIO(cfg.DDIO)
-		c := cha.New(eng, cfg.CHA, mc, ddio)
+		c := cha.New(eng, chaCfg, mc, ddio)
 		h.Sockets[s] = &Socket{MC: mc, CHA: c, DDIO: ddio}
 		chas[s] = c
 	}
@@ -59,7 +73,10 @@ func NewDual(cfg Config, upi numa.Config) *DualHost {
 		return int(a >> socketHomeBit & 1)
 	})
 	for s := 0; s < 2; s++ {
-		h.Sockets[s].IIO = iio.New(eng, cfg.IIO, h.UPI.Port(s))
+		ioCfg := cfg.IIO
+		ioCfg.Audit = aud
+		ioCfg.AuditDomain = fmt.Sprintf("s%d/iio", s)
+		h.Sockets[s].IIO = iio.New(eng, ioCfg, h.UPI.Port(s))
 	}
 	return h
 }
@@ -91,6 +108,7 @@ func (h *DualHost) AddCoreOn(socket int, gen cpu.Generator) *cpu.Core {
 
 // AddStorageOn attaches a device to the given socket's IIO.
 func (h *DualHost) AddStorageOn(socket int, cfg periph.Config) *periph.Storage {
+	cfg.Audit = h.Auditor
 	d := periph.New(h.Eng, cfg, h.Sockets[socket].IIO, len(h.Devices))
 	h.Devices = append(h.Devices, d)
 	d.Start(0)
@@ -119,6 +137,7 @@ func (h *DualHost) Run(warmup, window sim.Time) {
 	h.Eng.RunUntil(h.Eng.Now() + warmup)
 	h.ResetStats()
 	h.Eng.RunUntil(h.Eng.Now() + window)
+	h.Auditor.CheckEnd()
 }
 
 // C2MBW sums core bandwidth (bytes/s).

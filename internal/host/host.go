@@ -6,6 +6,7 @@ package host
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/cache"
 	"repro/internal/cha"
 	"repro/internal/cpu"
@@ -31,6 +32,11 @@ type Config struct {
 	// experiments to report utilization like the paper's figures.
 	TheoreticalMemBW  float64
 	TheoreticalPCIeBW float64
+
+	// Audit configures the invariant auditor. Zero value = disabled: every
+	// domain still compiles its registration call, but audit.New returns nil
+	// and the nil auditor makes each registration a no-op.
+	Audit audit.Config
 }
 
 // CascadeLake returns the Table 1 Cascade Lake preset: Xeon Gold 6234,
@@ -88,6 +94,10 @@ type Host struct {
 	Eng *sim.Engine
 	Cfg Config
 
+	// Auditor is non-nil iff Cfg.Audit.Enabled; components registered their
+	// invariants with it at construction.
+	Auditor *audit.Auditor
+
 	MC      *dram.Controller
 	CHA     *cha.CHA
 	IIO     *iio.IIO
@@ -104,12 +114,19 @@ type Host struct {
 // New assembles a host from a config.
 func New(cfg Config) *Host {
 	eng := sim.New()
+	aud := audit.New(eng, cfg.Audit)
+	// Thread the auditor into every component config (and keep it in Cfg so
+	// AddCore-built cores inherit it).
+	cfg.MC.Audit = aud
+	cfg.CHA.Audit = aud
+	cfg.IIO.Audit = aud
+	cfg.Core.Audit = aud
 	mapper := mem.MustMapper(cfg.Mapper)
 	mc := dram.New(eng, cfg.MC, mapper, nil)
 	ddio := cache.NewDDIO(cfg.DDIO)
 	ch := cha.New(eng, cfg.CHA, mc, ddio)
 	io := iio.New(eng, cfg.IIO, ch)
-	return &Host{Eng: eng, Cfg: cfg, MC: mc, CHA: ch, IIO: io, DDIO: ddio, ingress: ch}
+	return &Host{Eng: eng, Cfg: cfg, Auditor: aud, MC: mc, CHA: ch, IIO: io, DDIO: ddio, ingress: ch}
 }
 
 // cxlHomeBit splits the address space: regions at or above 1<<cxlHomeBit are
@@ -137,6 +154,7 @@ func (m cxlMux) Submit(r *mem.Request) {
 // serviced by the expander's own memory controller behind the CXL link.
 func NewWithCXL(cfg Config, cxlCfg cxl.Config) *Host {
 	h := New(cfg)
+	cxlCfg.Audit = h.Auditor
 	h.CXL = cxl.New(h.Eng, cxlCfg)
 	h.ingress = cxlMux{cha: h.CHA, exp: h.CXL}
 	return h
@@ -182,6 +200,7 @@ func (h *Host) AddCore(gen cpu.Generator) *cpu.Core {
 
 // AddStorage creates a storage device workload and starts it at time 0.
 func (h *Host) AddStorage(cfg periph.Config) *periph.Storage {
+	cfg.Audit = h.Auditor
 	d := periph.New(h.Eng, cfg, h.IIO, len(h.Devices))
 	h.Devices = append(h.Devices, d)
 	d.Start(0)
@@ -212,6 +231,7 @@ func (h *Host) Run(warmup, window sim.Time) {
 	h.Eng.RunUntil(h.Eng.Now() + warmup)
 	h.ResetStats()
 	h.Eng.RunUntil(h.Eng.Now() + window)
+	h.Auditor.CheckEnd()
 }
 
 // C2MReadBW sums completed read bandwidth over all cores (bytes/s).

@@ -13,6 +13,9 @@
 package hostcc
 
 import (
+	"fmt"
+
+	"repro/internal/audit"
 	"repro/internal/cha"
 	"repro/internal/cpu"
 	"repro/internal/iio"
@@ -38,6 +41,9 @@ type Config struct {
 	// Relax is the multiplicative gap decay per uncongested interval
 	// (0 < Relax < 1).
 	Relax float64
+
+	// Audit, when non-nil, receives the controller's window invariant.
+	Audit *audit.Auditor
 }
 
 // DefaultConfig returns a controller tuned for the Cascade Lake preset: the
@@ -93,6 +99,14 @@ func New(eng *sim.Engine, cfg Config, io *iio.IIO, ch *cha.CHA, cores []*cpu.Cor
 		c.gap = c.baseGap
 	}
 	c.tickFn = c.tickEvent
+	if aud := cfg.Audit; aud.Enabled() {
+		aud.Check("hostcc", "gap", func() (bool, string) {
+			if c.gap < c.baseGap || c.gap > cfg.MaxGap {
+				return false, fmt.Sprintf("issue gap %v outside [%v, %v]", c.gap, c.baseGap, cfg.MaxGap)
+			}
+			return true, ""
+		})
+	}
 	return c
 }
 

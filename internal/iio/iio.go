@@ -11,6 +11,7 @@
 package iio
 
 import (
+	"repro/internal/audit"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -38,6 +39,11 @@ type Config struct {
 	// CreditReturn is the completion-notification delay that ends a write's
 	// credit hold after WPQ admission.
 	CreditReturn sim.Time
+
+	// Audit, when non-nil, receives the IIO's credit-pool invariants;
+	// AuditDomain overrides the default "iio" domain label.
+	Audit       *audit.Auditor
+	AuditDomain string
 }
 
 // DefaultConfig returns the Cascade-Lake-calibrated IIO parameters
@@ -179,8 +185,26 @@ func New(eng *sim.Engine, cfg Config, c mem.Submitter) *IIO {
 	i.wrLinkWaker = sim.NewWaker(eng, func() { fire(&i.wrWaiters, &i.wrRot) })
 	i.rdPaceWaker = sim.NewWaker(eng, func() { fire(&i.rdWaiters, &i.rdRot) })
 	i.submitFn = i.submitEvent
+	if aud := cfg.Audit; aud.Enabled() {
+		domain := cfg.AuditDomain
+		if domain == "" {
+			domain = "iio"
+		}
+		aud.Pool(domain, "write_credits", cfg.WriteCredits, func() int { return i.wrFree })
+		aud.Pool(domain, "read_credits", cfg.ReadCredits, func() int { return i.rdFree })
+		aud.Gauge(domain, "write_occ", i.stats.WriteOcc, func() int { return cfg.WriteCredits - i.wrFree })
+		aud.Gauge(domain, "read_occ", i.stats.ReadOcc, func() int { return cfg.ReadCredits - i.rdFree })
+		aud.Latency(domain, "write_lat", i.stats.WriteLat)
+		aud.Latency(domain, "read_lat", i.stats.ReadLat)
+	}
 	return i
 }
+
+// InjectDoubleRelease returns one write credit that was never acquired — a
+// deliberate conservation bug. It exists solely so tests can prove the
+// auditor detects and attributes violations; nothing in the simulator calls
+// it.
+func (i *IIO) InjectDoubleRelease() { i.wrFree++ }
 
 // Stats returns the IIO probes.
 func (i *IIO) Stats() *Stats { return i.stats }

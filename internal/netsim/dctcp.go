@@ -1,6 +1,9 @@
 package netsim
 
 import (
+	"fmt"
+
+	"repro/internal/audit"
 	"repro/internal/cpu"
 	"repro/internal/iio"
 	"repro/internal/mem"
@@ -24,6 +27,10 @@ type DCTCPConfig struct {
 	G            float64  // DCTCP gain
 	PerPacketCPU sim.Time // receiver per-packet protocol processing
 	BufBase      mem.Addr
+
+	// Audit, when non-nil, receives the receiver's queue and per-flow
+	// window invariants.
+	Audit *audit.Auditor
 }
 
 // DefaultDCTCPConfig matches the paper's setup: 4 flows, 9K MTU, 100 Gbps
@@ -144,6 +151,27 @@ func NewDCTCPReceiver(eng *sim.Engine, cfg DCTCPConfig, io *iio.IIO) *DCTCPRecei
 		f := &dctcpFlow{rx: r, id: i, cwnd: float64(cfg.InitCwnd)}
 		f.copier = &copyGen{flow: f, appBase: cfg.BufBase + mem.Addr(i)<<28}
 		r.flows = append(r.flows, f)
+	}
+	if aud := cfg.Audit; aud.Enabled() {
+		aud.Gauge("dctcp", "queue_occ", r.QueueOcc, func() int { return r.queue })
+		aud.Bounds("dctcp", "queue", 0, int64(cfg.QueueCap), func() int64 { return int64(r.queue) })
+		aud.Check("dctcp", "flows", func() (bool, string) {
+			for _, f := range r.flows {
+				if f.inflight < 0 {
+					return false, fmt.Sprintf("flow %d: inflight %d < 0", f.id, f.inflight)
+				}
+				if f.sockBytes < 0 {
+					return false, fmt.Sprintf("flow %d: sockBytes %d < 0", f.id, f.sockBytes)
+				}
+				if f.cwnd < float64(cfg.MSS) || f.cwnd > float64(cfg.MaxCwnd) {
+					return false, fmt.Sprintf("flow %d: cwnd %.0f outside [%d, %d]", f.id, f.cwnd, cfg.MSS, cfg.MaxCwnd)
+				}
+				if f.alpha < 0 || f.alpha > 1 {
+					return false, fmt.Sprintf("flow %d: alpha %.4f outside [0, 1]", f.id, f.alpha)
+				}
+			}
+			return true, ""
+		})
 	}
 	return r
 }

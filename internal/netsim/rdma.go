@@ -10,6 +10,9 @@
 package netsim
 
 import (
+	"fmt"
+
+	"repro/internal/audit"
 	"repro/internal/iio"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -32,6 +35,9 @@ type RDMAWriteConfig struct {
 	BufBase mem.Addr
 	// BufBytes is the region size (ring).
 	BufBytes int64
+
+	// Audit, when non-nil, receives the NIC's queue and PFC invariants.
+	Audit *audit.Auditor
 }
 
 // DefaultRDMAWriteConfig matches the paper's 100 Gbps RoCE/PFC setup.
@@ -63,6 +69,10 @@ type RDMAWrite struct {
 	// Delivered counts lines whose DMA completed (the app-visible
 	// throughput of the RDMA transfer).
 	Delivered *telemetry.Counter
+	// Dropped counts wire lines lost to a full NIC buffer. PFC exists to
+	// keep this at zero; a nonzero count means the thresholds or the pause
+	// propagation model broke losslessness.
+	Dropped *telemetry.Counter
 	// PauseFrac measures the fraction of time PFC pause is asserted.
 	PauseFrac *telemetry.FracTimer
 	// QueueOcc tracks NIC buffer occupancy.
@@ -79,10 +89,35 @@ func NewRDMAWrite(eng *sim.Engine, cfg RDMAWriteConfig, io *iio.IIO) *RDMAWrite 
 		cfg:       cfg,
 		io:        io,
 		Delivered: telemetry.NewCounter(eng),
+		Dropped:   telemetry.NewCounter(eng),
 		PauseFrac: telemetry.NewFracTimer(eng),
 		QueueOcc:  telemetry.NewIntegrator(eng),
 	}
 	w.arriveFn = w.arriveEvent
+	if aud := cfg.Audit; aud.Enabled() {
+		aud.Gauge("rdma", "queue_occ", w.QueueOcc, func() int { return w.queue })
+		aud.Bounds("rdma", "queue", 0, int64(cfg.QueueCapLines), func() int64 { return int64(w.queue) })
+		aud.Check("rdma", "pfc", func() (bool, string) {
+			// updatePFC runs after every queue change, so at event boundaries
+			// XOFF implies the queue has not drained to XON and vice versa.
+			if w.xoff != w.PauseFrac.On() {
+				return false, fmt.Sprintf("xoff=%v but PauseFrac.On()=%v", w.xoff, w.PauseFrac.On())
+			}
+			if w.xoff && w.queue <= cfg.PauseLo {
+				return false, fmt.Sprintf("XOFF asserted with queue %d <= PauseLo %d", w.queue, cfg.PauseLo)
+			}
+			if !w.xoff && w.queue >= cfg.PauseHi {
+				return false, fmt.Sprintf("XOFF clear with queue %d >= PauseHi %d", w.queue, cfg.PauseHi)
+			}
+			return true, ""
+		})
+		aud.Check("rdma", "lossless", func() (bool, string) {
+			if n := w.Dropped.Count(); n != 0 {
+				return false, fmt.Sprintf("%d lines dropped on a lossless (PFC) NIC", n)
+			}
+			return true, ""
+		})
+	}
 	return w
 }
 
@@ -99,9 +134,12 @@ func (r *RDMAWrite) arrive() {
 		if r.queue < r.cfg.QueueCapLines {
 			r.queue++
 			r.QueueOcc.Add(1)
+		} else {
+			// Buffer overrun: PFC should have paused the sender before the
+			// headroom above PauseHi ran out. Losing the line silently would
+			// mask a broken pause model, so count it.
+			r.Dropped.Inc()
 		}
-		// PFC keeps the queue from overflowing; a full queue with pause
-		// still propagating absorbs into the (modelled) headroom.
 		r.updatePFC()
 		r.pump()
 	}
@@ -151,6 +189,7 @@ func (r *RDMAWrite) BytesPerSec() float64 { return r.Delivered.BytesPerSecond() 
 // ResetStats starts a new measurement window.
 func (r *RDMAWrite) ResetStats() {
 	r.Delivered.Reset()
+	r.Dropped.Reset()
 	r.PauseFrac.Reset()
 	r.QueueOcc.Reset()
 }

@@ -13,6 +13,9 @@
 package numa
 
 import (
+	"fmt"
+
+	"repro/internal/audit"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -27,6 +30,9 @@ type Config struct {
 	// LinePeriod is the per-cacheline serialization time in one direction
 	// (~3.2 ns at 20 GB/s per direction).
 	LinePeriod sim.Time
+
+	// Audit, when non-nil, receives the link-state invariants.
+	Audit *audit.Auditor
 }
 
 // DefaultConfig models a two-socket UPI link: ~40 ns one-way, ~20 GB/s per
@@ -96,6 +102,24 @@ func New(eng *sim.Engine, cfg Config, cha0, cha1 mem.Submitter, homeOf func(mem.
 			}
 		}
 		r.submitFn[d] = func(arg any) { r.chas[d].Submit(arg.(*mem.Request)) }
+	}
+	if aud := cfg.Audit; aud.Enabled() {
+		for d := 0; d < 2; d++ {
+			d := d
+			aud.Check("numa", fmt.Sprintf("link_busy_dir%d", d), func() (bool, string) {
+				busy, free, now := r.stats.LinkBusy[d].On(), r.freeAt[d], eng.Now()
+				// Busy implies an unexpired reservation (the idle event at
+				// freeAt may still be pending when freeAt == now); idle
+				// implies no reservation extends past now.
+				if busy && free < now {
+					return false, fmt.Sprintf("flagged busy but reservation ended at %v (now %v)", free, now)
+				}
+				if !busy && free > now {
+					return false, fmt.Sprintf("flagged idle with reservation until %v (now %v)", free, now)
+				}
+				return true, ""
+			})
+		}
 	}
 	return r
 }

@@ -9,6 +9,9 @@
 package periph
 
 import (
+	"fmt"
+
+	"repro/internal/audit"
 	"repro/internal/iio"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -33,6 +36,10 @@ type Config struct {
 	DeviceDelay  sim.Time // device-internal latency per request before DMA starts
 	BufBase      mem.Addr // DMA target region base
 	BufBytes     int64    // region size; requests walk it sequentially and wrap
+
+	// Audit, when non-nil, receives the device's request-conservation
+	// invariant.
+	Audit *audit.Auditor
 }
 
 // BulkConfig returns the paper's bulk FIO workload: sequential 8 MB requests
@@ -100,7 +107,7 @@ func New(eng *sim.Engine, cfg Config, io *iio.IIO, origin int) *Storage {
 	if cfg.RequestBytes < mem.LineSize || cfg.QueueDepth <= 0 {
 		panic("periph: invalid storage config")
 	}
-	return &Storage{
+	s := &Storage{
 		eng:    eng,
 		cfg:    cfg,
 		io:     io,
@@ -110,6 +117,24 @@ func New(eng *sim.Engine, cfg Config, io *iio.IIO, origin int) *Storage {
 			Lines:    telemetry.NewCounter(eng),
 		},
 	}
+	if aud := cfg.Audit; aud.Enabled() {
+		domain := fmt.Sprintf("periph/dev%d", origin)
+		started := false
+		aud.Check(domain, "queue_depth", func() (bool, string) {
+			// Before Start fires, no requests exist yet; afterwards every
+			// queue-depth slot is either arming or active (conservation).
+			n := s.arming + len(s.active)
+			if n == 0 && !started {
+				return true, ""
+			}
+			started = true
+			if n != cfg.QueueDepth {
+				return false, fmt.Sprintf("arming=%d active=%d != QueueDepth=%d", s.arming, len(s.active), cfg.QueueDepth)
+			}
+			return true, ""
+		})
+	}
+	return s
 }
 
 // Stats returns the device's probes.

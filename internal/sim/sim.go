@@ -71,6 +71,12 @@ type Engine struct {
 	seq    uint64
 	events []event // flat 4-ary min-heap ordered by (at, seq)
 	nRun   uint64
+
+	// Event-cadence hook (see SetEventHook). hook == nil is the common case
+	// and costs Step a single untaken branch.
+	hook      func()
+	hookEvery uint64
+	hookLeft  uint64
 }
 
 // New returns a fresh engine with the clock at zero.
@@ -189,6 +195,18 @@ func (e *Engine) At(t Time, fn func()) { e.AtFunc(t, callThunk, fn) }
 // After schedules fn to run d picoseconds from now. Negative d panics.
 func (e *Engine) After(d Time, fn func()) { e.AtFunc(e.now+d, callThunk, fn) }
 
+// SetEventHook installs fn to run after every `every`-th executed event,
+// between events (never inside one). The invariant auditor uses this as its
+// checking cadence. Passing fn == nil or every == 0 removes the hook. The
+// hook must not schedule events; it observes state between them.
+func (e *Engine) SetEventHook(every uint64, fn func()) {
+	if fn == nil || every == 0 {
+		e.hook, e.hookEvery, e.hookLeft = nil, 0, 0
+		return
+	}
+	e.hook, e.hookEvery, e.hookLeft = fn, every, every
+}
+
 // Step executes the earliest pending event. It reports false if no events
 // remain.
 func (e *Engine) Step() bool {
@@ -199,6 +217,13 @@ func (e *Engine) Step() bool {
 	e.now = ev.at
 	e.nRun++
 	ev.fn(ev.arg)
+	if e.hook != nil {
+		e.hookLeft--
+		if e.hookLeft == 0 {
+			e.hookLeft = e.hookEvery
+			e.hook()
+		}
+	}
 	return true
 }
 

@@ -283,3 +283,52 @@ func TestRNGIsUsableRand(t *testing.T) {
 		t.Fatalf("IntN out of range: %d", n)
 	}
 }
+
+func TestWakerSameInstantRearmFiresExactlyOnceMore(t *testing.T) {
+	e := New()
+	fires := 0
+	var w *Waker
+	w = NewWaker(e, func() {
+		fires++
+		if fires == 1 {
+			// Re-arm for the very instant we are firing at. The waker
+			// must fire exactly once more at this time — and repeated
+			// same-instant requests must coalesce into that one wake.
+			w.WakeAt(e.Now())
+			w.WakeAt(e.Now())
+		}
+	})
+	e.At(10, func() { w.Wake() })
+	e.Run()
+	if fires != 2 {
+		t.Fatalf("fires = %d, want 2 (original + one same-instant re-arm)", fires)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("finished at %v, want 10 (re-arm must not advance time)", e.Now())
+	}
+}
+
+func TestWakerSameInstantRearmChainProperty(t *testing.T) {
+	// Property: a handler that re-arms for e.Now() on each of its first
+	// `chain` firings produces exactly chain+1 firings, all at the original
+	// wake time. This pins the "fires exactly once more" contract for
+	// arbitrary chain depth.
+	prop := func(n uint8) bool {
+		chain := int(n % 32)
+		e := New()
+		fires := 0
+		var w *Waker
+		w = NewWaker(e, func() {
+			fires++
+			if fires <= chain {
+				w.WakeAt(e.Now())
+			}
+		})
+		e.At(5, func() { w.Wake() })
+		e.Run()
+		return fires == chain+1 && e.Now() == 5
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

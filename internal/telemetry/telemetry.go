@@ -11,6 +11,7 @@
 package telemetry
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/sim"
@@ -126,6 +127,23 @@ func (c *Counter) Reset() { c.n = 0; c.since = c.eng.Now() }
 type Latency struct {
 	Occ *Integrator
 	Arr *Counter
+
+	// direct, when non-nil, shadows the probe with per-request timestamp
+	// sampling (see EnableDirectSampling). Nil in normal operation, so the
+	// Enter/Exit hot path pays only an untaken branch.
+	direct *directSampler
+}
+
+// directSampler pairs each Enter timestamp with an Exit in FIFO order. The sum
+// of (exit - enter) over FIFO-matched pairs equals the sum of true
+// per-request latencies whenever every entered request eventually exits
+// (the matching is a permutation, and the total is permutation-invariant),
+// so out-of-order completion does not bias the average.
+type directSampler struct {
+	enters []sim.Time
+	head   int // consumed prefix of enters
+	sumNs  float64
+	count  uint64
 }
 
 // NewLatency returns a latency probe.
@@ -133,23 +151,83 @@ func NewLatency(eng *sim.Engine) *Latency {
 	return &Latency{Occ: NewIntegrator(eng), Arr: NewCounter(eng)}
 }
 
+// EnableDirectSampling attaches the per-request timestamp shadow used by the
+// audit cross-check. Idempotent; call before traffic starts.
+func (l *Latency) EnableDirectSampling() {
+	if l.direct == nil {
+		l.direct = &directSampler{}
+	}
+}
+
 // Enter records a request entering the measured stage.
-func (l *Latency) Enter() { l.Occ.Add(1); l.Arr.Inc() }
+func (l *Latency) Enter() {
+	l.Occ.Add(1)
+	l.Arr.Inc()
+	if l.direct != nil {
+		l.direct.enters = append(l.direct.enters, l.Occ.eng.Now())
+	}
+}
 
 // Exit records a request leaving the measured stage.
-func (l *Latency) Exit() { l.Occ.Add(-1) }
+func (l *Latency) Exit() {
+	l.Occ.Add(-1)
+	if d := l.direct; d != nil && d.head < len(d.enters) {
+		enter := d.enters[d.head]
+		d.head++
+		d.sumNs += (l.Occ.eng.Now() - enter).Nanoseconds()
+		d.count++
+	}
+}
 
 // AvgNanos reports the Little's-law average latency (O/R) in nanoseconds.
+// A degenerate window — nonzero occupancy with zero arrivals, e.g. a window
+// that ends with only in-flight requests — has no defined O/R latency and
+// reports NaN rather than silently claiming zero.
 func (l *Latency) AvgNanos() float64 {
 	rate := l.Arr.RatePerSecond() // requests per second
 	if rate == 0 {
+		if l.Occ.Avg() > 0 {
+			return math.NaN()
+		}
 		return 0
 	}
 	return l.Occ.Avg() / rate * 1e9
 }
 
-// Reset starts a new window.
-func (l *Latency) Reset() { l.Occ.Reset(); l.Arr.Reset() }
+// AvgNanosDirect reports the direct-sampling average latency over requests
+// completed since the last Reset. It returns 0 before EnableDirectSampling
+// or when nothing completed.
+func (l *Latency) AvgNanosDirect() float64 {
+	if l.direct == nil || l.direct.count == 0 {
+		return 0
+	}
+	return l.direct.sumNs / float64(l.direct.count)
+}
+
+// DirectCount reports completed requests observed by the direct sampler
+// since the last Reset.
+func (l *Latency) DirectCount() uint64 {
+	if l.direct == nil {
+		return 0
+	}
+	return l.direct.count
+}
+
+// Reset starts a new window. Direct-sampling accumulators restart; pending
+// enter timestamps are preserved so requests in flight across the window
+// boundary still measure their full latency on exit.
+func (l *Latency) Reset() {
+	l.Occ.Reset()
+	l.Arr.Reset()
+	if d := l.direct; d != nil {
+		d.sumNs, d.count = 0, 0
+		// Compact the consumed prefix so the slice doesn't grow forever.
+		if d.head > 0 {
+			d.enters = append(d.enters[:0], d.enters[d.head:]...)
+			d.head = 0
+		}
+	}
+}
 
 // FracTimer measures the fraction of window time a boolean condition holds
 // (e.g. "WPQ is full", "PFC pause asserted").
@@ -283,12 +361,15 @@ func (s *Samples) Mean() float64 {
 // paper's production studies report tail inflation; the simulator exposes
 // the same view per domain).
 type Histogram struct {
-	buckets []uint64 // bucket i covers [2^i, 2^(i+1)) nanoseconds
+	// buckets[0] covers [0, 2) ns — including sub-nanosecond samples, which
+	// ObserveNs has always placed there — and bucket i >= 1 covers
+	// [2^i, 2^(i+1)) ns.
+	buckets []uint64
 	count   uint64
 	maxNs   float64
 }
 
-// NewHistogram returns an empty histogram covering 1 ns .. ~1 s.
+// NewHistogram returns an empty histogram covering 0 ns .. ~1 s.
 func NewHistogram() *Histogram { return &Histogram{buckets: make([]uint64, 30)} }
 
 // ObserveNs records one latency sample in nanoseconds.
@@ -316,7 +397,9 @@ func (h *Histogram) Count() uint64 { return h.count }
 func (h *Histogram) Max() float64 { return h.maxNs }
 
 // PercentileNs reports an upper bound on the p-quantile (p in [0,1]) using
-// bucket upper edges; resolution is a factor of two.
+// bucket upper edges, clamped to the largest observed sample; resolution is
+// a factor of two. Since bucket 0 is [0, 2), a histogram of sub-nanosecond
+// samples reports their true maximum rather than an invented 1-2 ns floor.
 func (h *Histogram) PercentileNs(p float64) float64 {
 	if h.count == 0 {
 		return 0

@@ -321,3 +321,146 @@ func TestSamplesQuantileRepeatedReadsAllocFree(t *testing.T) {
 		t.Fatalf("repeated Quantile reads allocated %v per run, want 0", allocs)
 	}
 }
+
+func TestHistogramBucketZeroRange(t *testing.T) {
+	// Bucket 0 covers [0, 2) ns: sub-2ns samples land together and report
+	// via the max-clamp rather than a fabricated 1ns bucket boundary.
+	h := NewHistogram()
+	h.ObserveNs(0)
+	h.ObserveNs(0.25)
+	h.ObserveNs(1.999)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	// All three are in bucket 0; every percentile clamps to the true max.
+	for _, p := range []float64{0, 0.5, 0.999, 1} {
+		if got := h.PercentileNs(p); got != 1.999 {
+			t.Fatalf("PercentileNs(%v) = %v, want 1.999 (true max of bucket 0)", p, got)
+		}
+	}
+}
+
+func TestHistogramPercentileExtremes(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 10; i++ {
+		h.ObserveNs(70)
+	}
+	h.ObserveNs(900)
+	// p=0 is the smallest observation's bucket; p=1 is the max.
+	if p0 := h.PercentileNs(0); p0 < 64 || p0 > 128 {
+		t.Fatalf("p0 = %v, want the ~70ns bucket", p0)
+	}
+	if p1 := h.PercentileNs(1); p1 != 900 {
+		t.Fatalf("p1 = %v, want exactly the max (900)", p1)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveNs(333)
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := h.PercentileNs(p); got != 333 {
+			t.Fatalf("PercentileNs(%v) = %v, want 333 (single sample clamps to max)", p, got)
+		}
+	}
+}
+
+func TestHistogramAllZeroSamples(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 5; i++ {
+		h.ObserveNs(0)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.PercentileNs(0.99); got != 0 {
+		t.Fatalf("p99 = %v, want 0 for all-zero samples", got)
+	}
+	if h.Max() != 0 {
+		t.Fatalf("max = %v, want 0", h.Max())
+	}
+}
+
+func TestLatencyAvgNanosDegenerateWindowIsNaN(t *testing.T) {
+	// A request enters before the window, the window is Reset while it is in
+	// flight, and no new request arrives: occupancy is nonzero but the
+	// arrival rate is zero. O/R is undefined — AvgNanos must say so with NaN
+	// instead of silently reporting 0 ns.
+	eng := sim.New()
+	l := NewLatency(eng)
+	eng.At(0, l.Enter)
+	eng.At(10*sim.Nanosecond, func() { l.Reset() })
+	eng.At(20*sim.Nanosecond, func() {})
+	eng.Run()
+	if got := l.AvgNanos(); !math.IsNaN(got) {
+		t.Fatalf("AvgNanos = %v for occupied zero-arrival window, want NaN", got)
+	}
+	// An idle window (no occupancy, no arrivals) stays a plain 0.
+	eng2 := sim.New()
+	l2 := NewLatency(eng2)
+	eng2.At(20*sim.Nanosecond, func() {})
+	eng2.Run()
+	if got := l2.AvgNanos(); got != 0 {
+		t.Fatalf("AvgNanos = %v for idle window, want 0", got)
+	}
+}
+
+func TestLatencyDirectSamplingMatchesResidency(t *testing.T) {
+	eng := sim.New()
+	l := NewLatency(eng)
+	l.EnableDirectSampling()
+	l.EnableDirectSampling() // idempotent
+	if l.DirectCount() != 0 || l.AvgNanosDirect() != 0 {
+		t.Fatalf("direct sampler not empty before traffic")
+	}
+	const d = 42 * sim.Nanosecond
+	for i := 0; i < 20; i++ {
+		at := sim.Time(i) * 100 * sim.Nanosecond
+		eng.At(at, l.Enter)
+		eng.At(at+d, l.Exit)
+	}
+	eng.Run()
+	if l.DirectCount() != 20 {
+		t.Fatalf("DirectCount = %d, want 20", l.DirectCount())
+	}
+	if got := l.AvgNanosDirect(); math.Abs(got-42) > 1e-9 {
+		t.Fatalf("AvgNanosDirect = %v, want 42", got)
+	}
+}
+
+func TestLatencyDirectSamplingOutOfOrderUnbiased(t *testing.T) {
+	// FIFO matching pairs exits with enters in arrival order. When requests
+	// complete out of order the individual samples are misattributed, but the
+	// sum of latencies — hence the average — is permutation-invariant.
+	eng := sim.New()
+	l := NewLatency(eng)
+	l.EnableDirectSampling()
+	// Two overlapping requests completing in reverse order:
+	// A enters 0 exits 100, B enters 10 exits 50. True mean (100+40)/2 = 70.
+	eng.At(0, l.Enter)
+	eng.At(10*sim.Nanosecond, l.Enter)
+	eng.At(50*sim.Nanosecond, l.Exit)  // B finishes first
+	eng.At(100*sim.Nanosecond, l.Exit) // then A
+	eng.Run()
+	if got := l.AvgNanosDirect(); math.Abs(got-70) > 1e-9 {
+		t.Fatalf("AvgNanosDirect = %v, want 70 (order-invariant mean)", got)
+	}
+}
+
+func TestLatencyDirectSamplingResetPreservesPending(t *testing.T) {
+	// A request in flight across a window boundary must still produce a
+	// full-latency sample in the new window.
+	eng := sim.New()
+	l := NewLatency(eng)
+	l.EnableDirectSampling()
+	eng.At(0, l.Enter)
+	eng.At(30*sim.Nanosecond, func() { l.Reset() })
+	eng.At(80*sim.Nanosecond, l.Exit)
+	eng.Run()
+	if l.DirectCount() != 1 {
+		t.Fatalf("DirectCount = %d, want 1", l.DirectCount())
+	}
+	if got := l.AvgNanosDirect(); math.Abs(got-80) > 1e-9 {
+		t.Fatalf("AvgNanosDirect = %v, want 80 (full residency across Reset)", got)
+	}
+}
