@@ -28,6 +28,14 @@ func benchOptions() hostnet.Options {
 	return opt
 }
 
+// benchWindowOpt returns the defaults at a custom reduced window (the app
+// figures use their own window sizes).
+func benchWindowOpt(window sim.Time) hostnet.Options {
+	opt := hostnet.DefaultOptions()
+	opt.Window = window
+	return opt
+}
+
 // BenchmarkTable1Configs builds both testbed presets and runs a trivial
 // workload on each (Table 1).
 func BenchmarkTable1Configs(b *testing.B) {
@@ -150,7 +158,7 @@ func BenchmarkFig14Quadrant4Probes(b *testing.B) {
 func BenchmarkFig1AppsIceLake(b *testing.B) {
 	var res exp.Fig1Result
 	for i := 0; i < b.N; i++ {
-		res = exp.RunFig1(30 * sim.Microsecond)
+		res = exp.RunFig1(benchWindowOpt(30 * sim.Microsecond))
 	}
 	b.ReportMetric(res.Redis[1].AppDegradation(), "redis-degr-x")
 	b.ReportMetric(res.GAPBS[1].AppDegradation(), "gapbs-degr-x")
@@ -161,7 +169,7 @@ func BenchmarkFig1AppsIceLake(b *testing.B) {
 func BenchmarkFig2DDIO(b *testing.B) {
 	var res exp.Fig2Result
 	for i := 0; i < b.N; i++ {
-		res = exp.RunFig2(30 * sim.Microsecond)
+		res = exp.RunFig2(benchWindowOpt(30 * sim.Microsecond))
 	}
 	last := len(res.GAPBSOn) - 1
 	b.ReportMetric(res.GAPBSOn[last].AppDegradation(), "ddio-on-degr-x")
@@ -172,7 +180,7 @@ func BenchmarkFig2DDIO(b *testing.B) {
 func BenchmarkFig15AppsP2MWrite(b *testing.B) {
 	var g exp.AppGridResult
 	for i := 0; i < b.N; i++ {
-		g = exp.RunFig15(25 * sim.Microsecond)
+		g = exp.RunFig15(benchWindowOpt(25 * sim.Microsecond))
 	}
 	b.ReportMetric(g.RedisOn[len(g.RedisOn)-1].AppDegradation(), "redisW-degr-x")
 	b.ReportMetric(g.GAPBSOn[len(g.GAPBSOn)-1].AppDegradation(), "gapbsBC-degr-x")
@@ -181,7 +189,7 @@ func BenchmarkFig15AppsP2MWrite(b *testing.B) {
 func BenchmarkFig16AppsP2MRead(b *testing.B) {
 	var g exp.AppGridResult
 	for i := 0; i < b.N; i++ {
-		g = exp.RunFig16(25 * sim.Microsecond)
+		g = exp.RunFig16(benchWindowOpt(25 * sim.Microsecond))
 	}
 	b.ReportMetric(g.RedisOn[len(g.RedisOn)-1].AppDegradation(), "redisR-degr-x")
 	b.ReportMetric(g.GAPBSOn[len(g.GAPBSOn)-1].P2MDegradation(), "p2m-degr-x")
@@ -190,7 +198,7 @@ func BenchmarkFig16AppsP2MRead(b *testing.B) {
 func BenchmarkFig17AppsP2MRead(b *testing.B) {
 	var g exp.AppGridResult
 	for i := 0; i < b.N; i++ {
-		g = exp.RunFig17(25 * sim.Microsecond)
+		g = exp.RunFig17(benchWindowOpt(25 * sim.Microsecond))
 	}
 	b.ReportMetric(g.RedisOn[len(g.RedisOn)-1].AppDegradation(), "redisW-degr-x")
 }

@@ -1,0 +1,105 @@
+// Command hostnetd serves the host-network simulator over HTTP: submit
+// experiment job specs, poll or stream their progress, and fetch results
+// that are byte-identical to `hostnetsim -format json`.
+//
+// Usage:
+//
+//	hostnetd [-addr :8080] [-queue 64] [-workers 2] [-parallel N]
+//	         [-job-timeout 15m] [-drain-timeout 30s] [-cache-bytes N]
+//	         [-max-window 10ms] [-audit] [-version]
+//
+// Endpoints:
+//
+//	POST   /jobs              submit a job spec (429 + Retry-After when full)
+//	GET    /jobs              list known jobs
+//	GET    /jobs/{id}         job status
+//	GET    /jobs/{id}/result  result bytes (?wait=true blocks until done)
+//	GET    /jobs/{id}/stream  NDJSON progress stream
+//	DELETE /jobs/{id}         cancel
+//	GET    /experiments       valid experiment names
+//	GET    /healthz           liveness + drain state
+//	GET    /metrics           Prometheus text format
+//	GET    /version           build info
+//
+// On SIGINT/SIGTERM the daemon stops admission, drains accepted jobs for
+// -drain-timeout, cancels whatever remains, and exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/version"
+)
+
+func main() { os.Exit(realMain(os.Args[1:])) }
+
+func realMain(args []string) int {
+	fs := flag.NewFlagSet("hostnetd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	queue := fs.Int("queue", 64, "bounded job queue depth (full queue sheds load with 429)")
+	workers := fs.Int("workers", 2, "jobs executed concurrently")
+	parallel := fs.Int("parallel", 0, "sweep-pool width inside one job (0 = one goroutine per point)")
+	jobTimeout := fs.Duration("job-timeout", 15*time.Minute, "per-job wall-clock timeout")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain deadline")
+	cacheBytes := fs.Int64("cache-bytes", 256<<20, "result cache byte cap")
+	maxWindow := fs.Duration("max-window", 10*time.Millisecond, "max simulated window/warmup per job (<0 disables)")
+	audit := fs.Bool("audit", false, "run simulator invariant audits inside jobs")
+	ver := fs.Bool("version", false, "print version and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *ver {
+		fmt.Println("hostnetd", version.Get())
+		return 0
+	}
+
+	srv := serve.New(serve.Config{
+		QueueDepth:  *queue,
+		Workers:     *workers,
+		Parallelism: *parallel,
+		JobTimeout:  *jobTimeout,
+		CacheBytes:  *cacheBytes,
+		MaxWindowNs: maxWindow.Nanoseconds(),
+		Audit:       *audit,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("hostnetd %s listening on %s (queue %d, workers %d)", version.Get(), *addr, *queue, *workers)
+
+	select {
+	case err := <-errc:
+		log.Printf("listen: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills hard
+
+	log.Printf("signal received; draining for up to %v", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Shutdown(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if drainErr != nil {
+		log.Printf("drain: %v", drainErr)
+		return 1
+	}
+	log.Printf("drained cleanly")
+	return 0
+}

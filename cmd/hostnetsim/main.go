@@ -16,6 +16,11 @@
 //	-ddio     enable DDIO for the quadrant experiments
 //	-parallel worker-pool size for multi-point sweeps (0 = one per CPU,
 //	          1 = serial); results are bit-identical at any setting
+//	-format   "table" (default, rendered) or "json": the canonical JSON
+//	          Result envelope, one NDJSON line per experiment, byte-identical
+//	          to hostnetd's result endpoint for the same spec
+//	-version  print build identification (module version, VCS revision) and
+//	          exit
 //	-audit    run every experiment under the invariant auditor: credit
 //	          pools are checked for conservation between events and latency
 //	          probes cross-checked against direct timestamps; any violation
@@ -41,6 +46,7 @@ import (
 	"repro/hostnet"
 	"repro/internal/exp"
 	"repro/internal/sim"
+	"repro/internal/version"
 )
 
 func main() {
@@ -55,12 +61,23 @@ func realMain() int {
 	ddio := flag.Bool("ddio", false, "enable DDIO in quadrant experiments")
 	auditOn := flag.Bool("audit", false, "check credit-conservation invariants during every run")
 	csvOut := flag.Bool("csv", false, "emit quadrant experiments as CSV instead of tables")
+	format := flag.String("format", "table", "output format: table (rendered) or json (canonical machine-readable)")
+	showVersion := flag.Bool("version", false, "print build version and exit")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write allocation profile to `file` at exit")
 	traceOut := flag.String("trace", "", "write runtime execution trace to `file`")
 	flag.CommandLine.Parse(reorderArgs(os.Args[1:]))
 	emitCSV = *csvOut
+
+	if *showVersion {
+		fmt.Println("hostnetsim", version.Get())
+		return 0
+	}
+	if *format != "table" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "unknown -format %q (valid: table, json)\n", *format)
+		return 2
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -120,6 +137,9 @@ func realMain() int {
 		fmt.Fprintln(os.Stderr, "             prefetch hostcc mcisolation ratio cxl all")
 		return 2
 	}
+	if *format == "json" {
+		return runJSON(opt, *window, *warmup, *ddio, args)
+	}
 	for _, a := range args {
 		if a == "all" {
 			return run(opt, "table1", "fig3", "fig6", "fig7", "fig8", "fig11", "fig13", "fig14",
@@ -130,6 +150,31 @@ func realMain() int {
 }
 
 var emitCSV bool
+
+// runJSON emits the canonical JSON Result envelope for each named
+// experiment, one NDJSON line per name — byte-identical to hostnetd's
+// result endpoint for the same spec (both route through exp.RunSpecJSON).
+func runJSON(opt hostnet.Options, window, warmup time.Duration, ddio bool, names []string) int {
+	if len(names) == 1 && names[0] == "all" {
+		names = exp.Experiments()
+	}
+	for _, name := range names {
+		spec := hostnet.JobSpec{
+			Experiment: name,
+			WindowNs:   window.Nanoseconds(),
+			WarmupNs:   warmup.Nanoseconds(),
+			DDIO:       ddio,
+		}
+		b, err := exp.RunSpecJSON(spec, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			return 1
+		}
+		os.Stdout.Write(b)
+		os.Stdout.Write([]byte("\n"))
+	}
+	return 0
+}
 
 func run(opt hostnet.Options, names ...string) int {
 	w := os.Stdout
@@ -170,21 +215,21 @@ func run(opt hostnet.Options, names ...string) int {
 		case "fig11", "fig12":
 			hostnet.RenderFormula(w, hostnet.RunFig11(opt))
 		case "fig1":
-			res := hostnet.RunFig1(opt.Window)
+			res := hostnet.RunFig1(opt)
 			exp.RenderApps(w, "Fig 1: Redis/GAPBS + FIO on Ice Lake (DDIO on)",
 				map[string][]exp.AppPoint{"Redis": res.Redis, "GAPBS-PR": res.GAPBS})
 		case "fig2":
-			res := hostnet.RunFig2(opt.Window)
+			res := hostnet.RunFig2(opt)
 			exp.RenderApps(w, "Fig 2: DDIO on/off on Cascade Lake", map[string][]exp.AppPoint{
 				"Redis(on)": res.RedisOn, "Redis(off)": res.RedisOff,
 				"GAPBS(on)": res.GAPBSOn, "GAPBS(off)": res.GAPBSOff,
 			})
 		case "fig15":
-			renderGrid(w, hostnet.RunFig15(opt.Window))
+			renderGrid(w, hostnet.RunFig15(opt))
 		case "fig16":
-			renderGrid(w, hostnet.RunFig16(opt.Window))
+			renderGrid(w, hostnet.RunFig16(opt))
 		case "fig17":
-			renderGrid(w, hostnet.RunFig17(opt.Window))
+			renderGrid(w, hostnet.RunFig17(opt))
 		case "fig18", "fig20", "fig21", "fig22", "fig24":
 			hostnet.RenderRDMA(w, hostnet.RunFig18(opt))
 		case "fig19", "fig25", "fig26":
@@ -288,7 +333,7 @@ func head(xs []int, n int) []int {
 
 // boolFlags are the flags that take no value argument; every other flag
 // consumes the following token when written as "-flag value".
-var boolFlags = map[string]bool{"ddio": true, "csv": true, "audit": true}
+var boolFlags = map[string]bool{"ddio": true, "csv": true, "audit": true, "version": true}
 
 // reorderArgs moves flag tokens ahead of experiment names so that
 // "hostnetsim fig3 -parallel 8" works; the standard flag package stops

@@ -1,0 +1,46 @@
+package hostnet
+
+import (
+	"context"
+
+	"repro/internal/exp"
+)
+
+// JobSpec is the machine-readable description of one experiment job — the
+// public currency of the hostnetd daemon and `hostnetsim -format json`.
+// Sweeps are deterministic and bit-identical at any parallelism, so a
+// JobSpec fully determines its result; hostnetd content-addresses results
+// by JobSpec.Hash (SHA-256 of the canonical encoding) and serves repeated
+// or concurrent identical submissions from one underlying simulation.
+type JobSpec = exp.Spec
+
+// JobResult is the JSON envelope a completed job produces: the normalized
+// spec followed by the experiment's structured result.
+type JobResult = exp.Result
+
+// JobExperiments lists the experiment names a JobSpec may carry.
+func JobExperiments() []string { return exp.Experiments() }
+
+// RunJob executes a job spec with the given execution options and returns
+// the experiment's structured result (the same value the typed Run*
+// functions return). The result depends only on the spec; opt supplies
+// execution-only behavior (parallelism, audit, cancellation, progress).
+func RunJob(spec JobSpec, opt Options) (any, error) { return exp.RunSpec(spec, opt) }
+
+// RunJobJSON executes a job spec and returns the canonical JSON JobResult
+// bytes — byte-identical across the CLI, the daemon, repeat runs, and any
+// parallelism setting.
+func RunJobJSON(spec JobSpec, opt Options) ([]byte, error) { return exp.RunSpecJSON(spec, opt) }
+
+// NewJobResultValue returns a pointer to the zero value of the experiment's
+// concrete result type, for decoding a JobResult payload back into typed
+// form (nil for unknown experiment names).
+func NewJobResultValue(experiment string) any { return exp.NewResultValue(experiment) }
+
+// WithContext returns opt bounded by ctx: once ctx is done, multi-point
+// sweeps stop launching new points and surface the cancellation. An
+// individual simulation point is never interrupted mid-run.
+func WithContext(opt Options, ctx context.Context) Options {
+	opt.BaseCtx = ctx
+	return opt
+}

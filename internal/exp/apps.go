@@ -6,7 +6,6 @@ import (
 	"repro/internal/apps"
 	"repro/internal/host"
 	"repro/internal/periph"
-	"repro/internal/sim"
 )
 
 // App identifies one of the paper's C2M applications.
@@ -141,13 +140,11 @@ type Fig1Result struct {
 
 // RunFig1 reproduces Fig 1: Redis and GAPBS-PR colocated with bulk FIO reads
 // (P2M writes) on the Ice Lake preset, DDIO on, 4 cores dedicated to FIO.
-func RunFig1(window sim.Time) Fig1Result {
-	opt := Options{
-		Preset: host.IceLake,
-		DDIO:   true,
-		Warmup: 20 * sim.Microsecond,
-		Window: window,
-	}
+// The preset and DDIO setting are fixed by the figure; window, warmup,
+// parallelism, audit, and cancellation come from opt.
+func RunFig1(opt Options) Fig1Result {
+	opt.Preset = host.IceLake
+	opt.DDIO = true
 	cores := []int{2, 4, 8, 16, 24, 28}
 	var res Fig1Result
 	pdo(opt,
@@ -164,13 +161,14 @@ type Fig2Result struct {
 }
 
 // RunFig2 reproduces Fig 2: the DDIO on/off comparison on Cascade Lake with
-// the P2M-Write FIO workload (2 cores dedicated to FIO).
-func RunFig2(window sim.Time) Fig2Result {
-	on := Defaults()
-	on.Window = window
+// the P2M-Write FIO workload (2 cores dedicated to FIO). The preset and the
+// DDIO pairing are fixed by the figure; everything else comes from opt.
+func RunFig2(opt Options) Fig2Result {
+	on := opt
+	on.Preset = host.CascadeLake
 	on.DDIO = true
-	off := Defaults()
-	off.Window = window
+	off := on
+	off.DDIO = false
 	cores := []int{1, 2, 3, 4, 5, 6}
 	var res Fig2Result
 	pdo(on,
@@ -190,12 +188,12 @@ type AppGridResult struct {
 	GAPBSOn, GAPBSOff []AppPoint
 }
 
-func runAppGrid(fig string, redis, gapbs App, dir periph.Direction, window sim.Time) AppGridResult {
-	on := Defaults()
-	on.Window = window
+func runAppGrid(fig string, redis, gapbs App, dir periph.Direction, opt Options) AppGridResult {
+	on := opt
+	on.Preset = host.CascadeLake
 	on.DDIO = true
-	off := Defaults()
-	off.Window = window
+	off := on
+	off.DDIO = false
 	cores := []int{1, 2, 4, 6}
 	res := AppGridResult{Fig: fig}
 	pdo(on,
@@ -209,18 +207,18 @@ func runAppGrid(fig string, redis, gapbs App, dir periph.Direction, window sim.T
 
 // RunFig15 reproduces Appendix B Fig 15: Redis-Write and GAPBS-BC colocated
 // with P2M-Write.
-func RunFig15(window sim.Time) AppGridResult {
-	return runAppGrid("fig15", RedisWrite, GAPBSBC, periph.DMAWrite, window)
+func RunFig15(opt Options) AppGridResult {
+	return runAppGrid("fig15", RedisWrite, GAPBSBC, periph.DMAWrite, opt)
 }
 
 // RunFig16 reproduces Appendix B Fig 16: Redis-Read and GAPBS-PR colocated
 // with P2M-Read.
-func RunFig16(window sim.Time) AppGridResult {
-	return runAppGrid("fig16", RedisRead, GAPBSPR, periph.DMARead, window)
+func RunFig16(opt Options) AppGridResult {
+	return runAppGrid("fig16", RedisRead, GAPBSPR, periph.DMARead, opt)
 }
 
 // RunFig17 reproduces Appendix B Fig 17: Redis-Write and GAPBS-BC colocated
 // with P2M-Read.
-func RunFig17(window sim.Time) AppGridResult {
-	return runAppGrid("fig17", RedisWrite, GAPBSBC, periph.DMARead, window)
+func RunFig17(opt Options) AppGridResult {
+	return runAppGrid("fig17", RedisWrite, GAPBSBC, periph.DMARead, opt)
 }

@@ -9,13 +9,20 @@ import (
 
 const appWin = 60 * sim.Microsecond
 
+// appOpt returns the defaults at the shortened app-figure window.
+func appOpt() Options {
+	opt := Defaults()
+	opt.Window = appWin
+	return opt
+}
+
 // Fig 1 shape: on Ice Lake with DDIO on, Redis and GAPBS degrade while FIO
 // is unaffected and memory bandwidth is far from saturated.
 func TestFig1Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long experiment")
 	}
-	res := RunFig1(appWin)
+	res := RunFig1(appOpt())
 	for _, p := range append(append([]AppPoint{}, res.Redis...), res.GAPBS...) {
 		t.Logf("%v | appIso=%.2e appCo=%.2e p2m=%.1fGB/s memC2M=%.1f memP2M=%.1f",
 			p, p.AppIso, p.AppCo, p.P2MCo/1e9, p.Co.MemC2M/1e9, p.Co.MemP2M/1e9)
@@ -44,7 +51,7 @@ func TestFig2DDIOWorsensDegradation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long experiment")
 	}
-	res := RunFig2(appWin)
+	res := RunFig2(appOpt())
 	for i := range res.GAPBSOn {
 		on, off := res.GAPBSOn[i], res.GAPBSOff[i]
 		t.Logf("GAPBS cores=%d: ddio-on %.2fx ddio-off %.2fx", on.Cores, on.AppDegradation(), off.AppDegradation())
@@ -71,7 +78,7 @@ func TestFig16DDIONeutralForP2MReads(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long experiment")
 	}
-	res := RunFig16(appWin)
+	res := RunFig16(appOpt())
 	for i := range res.GAPBSOn {
 		on, off := res.GAPBSOn[i], res.GAPBSOff[i]
 		t.Logf("GAPBS+P2MRead cores=%d: on=%.2fx off=%.2fx", on.Cores, on.AppDegradation(), off.AppDegradation())

@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"context"
 	"os"
 
 	"repro/internal/analytic"
@@ -38,6 +39,18 @@ type Options struct {
 	// off. Defaults() also turns it on when HOSTNET_AUDIT is set, which is
 	// how CI audits every figure smoke test.
 	Audit bool
+	// BaseCtx, when non-nil, bounds every multi-point sweep: once the
+	// context is done no further points start, and the sweep surfaces the
+	// cancellation (hostnetd uses this for per-job timeout and shutdown).
+	// Cancellation takes effect between sweep points — an individual
+	// simulation is never interrupted mid-run, so partial results are never
+	// observed. Nil means run to completion.
+	BaseCtx context.Context
+	// Progress, if non-nil, is invoked once after each completed sweep task
+	// (one isolated+colocated point, or one baseline run). It is called
+	// concurrently from pool workers and must be safe for concurrent use.
+	// Purely observational: it cannot change results.
+	Progress func()
 }
 
 // Defaults returns the options used throughout §2.2/§5/§6: Cascade Lake,

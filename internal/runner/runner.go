@@ -13,6 +13,16 @@
 //     as a *PanicError carrying i and the goroutine's stack, instead of
 //     killing the process from an anonymous worker;
 //   - context cancellation: no new points start once ctx is done.
+//
+// # Error precedence
+//
+// When both failure modes occur in one call — a task panics while the
+// context is (or becomes) cancelled — ForEach, Map, and Do deterministically
+// return the *PanicError, not ctx.Err(). A panic is evidence of a bug and
+// must never be masked by the cancellation it races with (or even caused:
+// the panicking task may itself have triggered the cancel). ctx.Err() is
+// returned only when no task panicked. TestForEachPanicBeatsCancellation
+// pins this for both the serial and the pooled paths.
 package runner
 
 import (

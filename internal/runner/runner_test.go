@@ -154,3 +154,50 @@ func TestDo(t *testing.T) {
 		t.Errorf("got (%d, %d, %d)", a, b, c)
 	}
 }
+
+// The package-comment guarantee: a panic is never masked by a cancellation
+// it races with. The panicking task cancels the context itself before
+// panicking — the tightest possible race — and the *PanicError must still
+// win on every pool size, deterministically.
+func TestForEachPanicBeatsCancellation(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		err := ForEach(ctx, workers, 16, func(i int) {
+			if i == 0 {
+				cancel()
+				panic("boom during cancel")
+			}
+		})
+		cancel()
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %v (%T), want *PanicError", workers, err, err)
+		}
+		if pe.Index != 0 || pe.Value != "boom during cancel" {
+			t.Errorf("workers=%d: PanicError = index %d value %v", workers, pe.Index, pe.Value)
+		}
+	}
+	// Map and Do route through ForEach; spot-check Map keeps the guarantee.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := Map(ctx, 4, 4, func(i int) int {
+		if i == 0 {
+			cancel()
+			panic("map boom")
+		}
+		return i
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Map: got %v (%T), want *PanicError", err, err)
+	}
+}
+
+// Cancellation with no panic still surfaces ctx.Err().
+func TestForEachCancelWithoutPanic(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ForEach(ctx, 4, 8, func(int) {}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

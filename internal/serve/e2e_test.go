@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// End-to-end acceptance: N concurrent identical submissions over real HTTP
+// execute exactly one underlying simulation, every waiter receives bytes
+// identical to `hostnetsim -format json` (exp.RunSpecJSON at a different
+// parallelism), and /metrics shows the dedup/cache accounting.
+func TestE2EConcurrentSubmitsRunOnce(t *testing.T) {
+	s := testServer(t, Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := smallSpec(2)
+	// The CLI-equivalent bytes, computed at a different sweep parallelism to
+	// exercise the bit-identical-at-any-parallelism guarantee.
+	direct, err := exp.RunSpecJSON(spec, func() exp.Options {
+		o := exp.Defaults()
+		o.Parallelism = 4
+		return o
+	}())
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	body, _ := json.Marshal(spec)
+
+	const n = 8
+	var wg sync.WaitGroup
+	ids := make([]string, n)
+	results := make([][]byte, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var st JobStatus
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("submit %d: code %d", i, resp.StatusCode)
+				return
+			}
+			ids[i] = st.ID
+			res, err := http.Get(ts.URL + "/jobs/" + st.ID + "/result?wait=true")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer res.Body.Close()
+			if res.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("result %d: code %d", i, res.StatusCode)
+				return
+			}
+			results[i], errs[i] = io.ReadAll(res.Body)
+		}(i)
+	}
+	wg.Wait()
+
+	want := append(append([]byte(nil), direct...), '\n')
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if ids[i] != ids[0] {
+			t.Fatalf("client %d got id %s, client 0 got %s: content addressing diverged", i, ids[i], ids[0])
+		}
+		if !bytes.Equal(results[i], want) {
+			t.Fatalf("client %d result differs from hostnetsim -format json bytes:\n got %s\nwant %s",
+				i, results[i], want)
+		}
+	}
+
+	if got := s.met.finished[StateDone].Load(); got != 1 {
+		t.Fatalf("%d simulations ran for %d identical submissions, want exactly 1", got, n)
+	}
+	if misses := s.met.cacheMisses.Load(); misses != 1 {
+		t.Fatalf("cache misses = %d, want 1", misses)
+	}
+	if hits, dedup := s.met.cacheHits.Load(), s.met.dedupInflight.Load(); hits+dedup != n-1 {
+		t.Fatalf("hits(%d)+dedup(%d) = %d, want %d", hits, dedup, hits+dedup, n-1)
+	}
+
+	// The same accounting is visible to operators via /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"hostnetd_cache_misses_total 1",
+		"hostnetd_jobs_finished_total{state=\"done\"} 1",
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("metrics missing %q:\n%s", want, mbody)
+		}
+	}
+}
+
+// The NDJSON stream delivers a status event, then progress/done events; the
+// final done event carries the result inline, byte-equal to the result
+// endpoint's payload.
+func TestE2EStreamNDJSON(t *testing.T) {
+	s := testServer(t, Config{Workers: 1})
+	release := make(chan struct{})
+	s.mgr.beforeRun = func(ctx context.Context, j *Job) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := smallSpec(1)
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var st JobStatus
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+
+	stream, err := http.Get(ts.URL + "/jobs/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	defer stream.Body.Close()
+	if ct := stream.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+
+	type event struct {
+		Event       string          `json:"event"`
+		State       string          `json:"state"`
+		PointsDone  int64           `json:"points_done"`
+		PointsTotal int             `json:"points_total"`
+		Result      json.RawMessage `json:"result"`
+	}
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+
+	// First line arrives while the job is held at the starting gate.
+	if !sc.Scan() {
+		t.Fatalf("no status event: %v", sc.Err())
+	}
+	var first event
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil || first.Event != "status" {
+		t.Fatalf("first event %s (err %v), want status", sc.Bytes(), err)
+	}
+	if first.PointsTotal != exp.SpecTasks(spec) {
+		t.Fatalf("points_total %d, want %d", first.PointsTotal, exp.SpecTasks(spec))
+	}
+	close(release)
+
+	var last event
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Bytes(), err)
+		}
+		if ev.Event == "progress" && ev.PointsDone < last.PointsDone {
+			t.Fatalf("progress went backwards: %d after %d", ev.PointsDone, last.PointsDone)
+		}
+		last = ev
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	if last.Event != "done" || last.State != "done" {
+		t.Fatalf("final event %+v, want done/done", last)
+	}
+	if len(last.Result) == 0 {
+		t.Fatalf("done event carries no result")
+	}
+	res, err := http.Get(ts.URL + "/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	rb, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if !bytes.Equal(bytes.TrimSuffix(rb, []byte("\n")), []byte(last.Result)) {
+		t.Fatalf("stream result differs from result endpoint:\n%s\nvs\n%s", last.Result, rb)
+	}
+}
+
+// Progress is observable while a job runs: points_done advances from the
+// status endpoint's perspective between start and finish.
+func TestE2EProgressCounts(t *testing.T) {
+	s := testServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := exp.Spec{Experiment: "quadrant", Quadrant: 1, Cores: []int{1, 2, 3}, WarmupNs: 1000, WindowNs: 2000}
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var st JobStatus
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+
+	j := s.mgr.Get(st.ID)
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job did not finish")
+	}
+	final, _ := io.ReadAll(get(s.Handler(), "/jobs/"+st.ID).Body)
+	var fin JobStatus
+	if err := json.Unmarshal(final, &fin); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if want := int64(exp.SpecTasks(spec)); fin.PointsDone != want {
+		t.Fatalf("points_done %d after completion, want %d", fin.PointsDone, want)
+	}
+	if fin.FinishedAt == "" || fin.StartedAt == "" || fin.SubmittedAt == "" {
+		t.Fatalf("timestamps missing: %+v", fin)
+	}
+}

@@ -1,0 +1,493 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/runner"
+)
+
+// State is a job's lifecycle position. Transitions are monotone:
+// Queued -> Running -> (Done | Failed | Canceled), with the extra edge
+// Queued -> Canceled for jobs canceled before a worker picks them up.
+type State int
+
+// The job states.
+const (
+	StateQueued State = iota
+	StateRunning
+	StateDone
+	StateFailed
+	StateCanceled
+	numStates
+)
+
+// String names the state as the API reports it.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCanceled:
+		return "canceled"
+	}
+	return "invalid"
+}
+
+// Submission errors.
+var (
+	// ErrQueueFull is returned when the bounded admission queue is full; the
+	// HTTP layer translates it to 429 + Retry-After (load shedding, never
+	// unbounded buffering).
+	ErrQueueFull = errors.New("job queue full")
+	// ErrClosed is returned once shutdown has begun; admission stops
+	// immediately while accepted jobs drain.
+	ErrClosed = errors.New("server is draining; not accepting jobs")
+)
+
+// Outcome says how a submission was satisfied.
+type Outcome int
+
+// Submission outcomes.
+const (
+	// OutcomeAccepted: a new job was created and enqueued.
+	OutcomeAccepted Outcome = iota
+	// OutcomeCacheHit: an identical spec already completed; the result is
+	// served from the content-addressed cache without running anything.
+	OutcomeCacheHit
+	// OutcomeDeduplicated: an identical spec is queued or running; the
+	// submission attaches to that in-flight job (one simulation serves all).
+	OutcomeDeduplicated
+)
+
+// String names the outcome as the API reports it.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCacheHit:
+		return "cache_hit"
+	case OutcomeDeduplicated:
+		return "deduplicated"
+	}
+	return "accepted"
+}
+
+// Job is one submitted experiment. Its identity IS its content address:
+// the ID is derived from the SHA-256 of the canonical spec encoding, which
+// is what makes concurrent duplicate submissions collapse onto one
+// execution and repeated submissions hit the cache.
+type Job struct {
+	ID        string
+	Spec      exp.Spec // normalized
+	Canonical []byte   // canonical spec bytes the ID hashes
+
+	mu          sync.Mutex
+	state       State
+	errMsg      string
+	result      []byte // canonical Result envelope bytes (StateDone only)
+	points      int64  // completed sweep tasks
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+	cancelCause string
+	cancel      context.CancelFunc
+	subs        map[chan struct{}]struct{}
+	done        chan struct{}
+
+	// Cache bookkeeping, guarded by the manager's mutex.
+	lruElem *list.Element
+	cost    int64
+}
+
+func newJob(id string, spec exp.Spec, canonical []byte) *Job {
+	return &Job{
+		ID:        id,
+		Spec:      spec,
+		Canonical: canonical,
+		submitted: time.Now(),
+		subs:      make(map[chan struct{}]struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// State returns the current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the canonical result bytes and error message; result is
+// non-nil only in StateDone.
+func (j *Job) Result() (result []byte, errMsg string, state State) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.errMsg, j.state
+}
+
+// PointsDone reports completed sweep tasks.
+func (j *Job) PointsDone() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.points
+}
+
+// bumpProgress records one completed sweep task and pokes subscribers.
+// It is the job's exp.Options.Progress hook, called concurrently from
+// sweep pool workers.
+func (j *Job) bumpProgress() {
+	j.mu.Lock()
+	j.points++
+	for ch := range j.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // subscriber already has a pending poke
+		}
+	}
+	j.mu.Unlock()
+}
+
+// subscribe registers a progress listener; the returned channel receives a
+// poke (coalesced) after each completed sweep task.
+func (j *Job) subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	j.mu.Lock()
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch
+}
+
+func (j *Job) unsubscribe(ch chan struct{}) {
+	j.mu.Lock()
+	delete(j.subs, ch)
+	j.mu.Unlock()
+}
+
+// markRunning moves Queued -> Running; false if the job was canceled while
+// queued (the worker then skips it).
+func (j *Job) markRunning(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	return true
+}
+
+// requestCancel cancels the job: queued jobs finish as Canceled on the
+// spot; running jobs get their context canceled (the sweep stops between
+// points and the worker records the terminal state). Terminal jobs are
+// untouched. Reports whether the request had any effect.
+func (j *Job) requestCancel(reason string) bool {
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.cancelCause = reason
+		j.finishLocked(StateCanceled, nil, "canceled while queued: "+reason)
+		j.mu.Unlock()
+		return true
+	case StateRunning:
+		j.cancelCause = reason
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return true
+	}
+	j.mu.Unlock()
+	return false
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(state State, result []byte, errMsg string) {
+	j.mu.Lock()
+	j.finishLocked(state, result, errMsg)
+	j.mu.Unlock()
+}
+
+func (j *Job) finishLocked(state State, result []byte, errMsg string) {
+	if j.state == StateDone || j.state == StateFailed || j.state == StateCanceled {
+		return
+	}
+	j.state = state
+	j.result = result
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	close(j.done)
+}
+
+// jobID derives the content address: "j" + first 16 hex chars of the
+// canonical spec's SHA-256.
+func jobID(canonical []byte) string {
+	sum := sha256.Sum256(canonical)
+	return "j" + hex.EncodeToString(sum[:8])
+}
+
+// manager owns the bounded job queue, the worker pool, and the
+// content-addressed result cache (LRU by bytes). One mutex guards the job
+// table and cache; per-job state has its own lock (lock order: manager
+// before job, never the reverse).
+type manager struct {
+	cfg        Config
+	met        *metrics
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	closed   bool
+	jobs     map[string]*Job // content address -> job (live and cached)
+	lru      *list.List      // terminal jobs, most recently used at front
+	lruBytes int64
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	// beforeRun, when set (tests only), runs on the worker goroutine after
+	// the job turns Running and before the simulation starts.
+	beforeRun func(ctx context.Context, j *Job)
+}
+
+func newManager(cfg Config, met *metrics) *manager {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &manager{
+		cfg:        cfg,
+		met:        met,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+		lru:        list.New(),
+		queue:      make(chan *Job, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit admits a spec: content-address it, serve it from the cache or an
+// in-flight duplicate if possible, otherwise enqueue a new job — or shed
+// load if the bounded queue is full. The spec must already be normalized
+// and validated (the HTTP layer does both).
+func (m *manager) Submit(spec exp.Spec, canonical []byte) (*Job, Outcome, error) {
+	id := jobID(canonical)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, OutcomeAccepted, ErrClosed
+	}
+	if j, ok := m.jobs[id]; ok {
+		switch j.State() {
+		case StateDone:
+			m.touchLocked(j)
+			m.met.cacheHits.Add(1)
+			return j, OutcomeCacheHit, nil
+		case StateQueued, StateRunning:
+			m.met.dedupInflight.Add(1)
+			return j, OutcomeDeduplicated, nil
+		default:
+			// Failed or canceled: drop the stale record and retry fresh.
+			m.removeLocked(j)
+		}
+	}
+	j := newJob(id, spec, canonical)
+	select {
+	case m.queue <- j:
+		m.jobs[id] = j
+		m.met.cacheMisses.Add(1)
+		return j, OutcomeAccepted, nil
+	default:
+		m.met.rejected.Add(1)
+		return nil, OutcomeAccepted, ErrQueueFull
+	}
+}
+
+// Get returns the job at a content address or job ID.
+func (m *manager) Get(id string) *Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[id]
+}
+
+// Jobs snapshots all live and cached jobs, most recently submitted first.
+func (m *manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j)
+	}
+	return out
+}
+
+func (m *manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.run(j)
+	}
+}
+
+// run executes one job with panic isolation, per-job timeout, and progress
+// accounting, then files the terminal result in the cache.
+func (m *manager) run(j *Job) {
+	ctx, cancel := context.WithTimeout(m.baseCtx, m.cfg.JobTimeout)
+	defer cancel()
+	if !j.markRunning(cancel) {
+		return // canceled while queued
+	}
+	if h := m.beforeRun; h != nil {
+		h(ctx, j)
+	}
+
+	opt := exp.Defaults()
+	opt.Parallelism = m.cfg.Parallelism
+	opt.Audit = m.cfg.Audit
+	opt.BaseCtx = ctx
+	opt.Progress = j.bumpProgress
+
+	start := time.Now()
+	var out []byte
+	var runErr error
+	// runner.Do gives panic isolation: a panic anywhere in the simulation
+	// (including an audit violation under Config.Audit) surfaces as a
+	// *runner.PanicError with the goroutine's stack instead of killing the
+	// daemon.
+	poolErr := runner.Do(ctx, 1, func() { out, runErr = exp.RunSpecJSON(j.Spec, opt) })
+	wall := time.Since(start)
+
+	var st State
+	var msg string
+	switch {
+	case ctx.Err() != nil && (poolErr != nil || runErr != nil):
+		// Cancellation (client, timeout, or shutdown deadline): RunSpecJSON
+		// reports it as an error, and any panic the pool caught in that
+		// window is just the context error re-raised between sweep points.
+		st = StateCanceled
+		switch {
+		case errors.Is(ctx.Err(), context.DeadlineExceeded):
+			msg = fmt.Sprintf("canceled: exceeded job timeout %v", m.cfg.JobTimeout)
+		default:
+			msg = "canceled: " + ctx.Err().Error()
+		}
+	case poolErr != nil:
+		st, msg = StateFailed, truncate(poolErr.Error(), 8<<10)
+	case runErr != nil:
+		st, msg = StateFailed, truncate(runErr.Error(), 8<<10)
+	default:
+		st = StateDone
+	}
+
+	m.mu.Lock()
+	m.insertLocked(j, st, out)
+	m.mu.Unlock()
+	j.finish(st, out, msg)
+	m.met.observe(st, wall)
+}
+
+// insertLocked files a terminal job in the LRU and evicts over-budget
+// entries (never the entry being inserted: a single oversized result is
+// served once rather than thrashing).
+func (m *manager) insertLocked(j *Job, st State, result []byte) {
+	j.cost = int64(len(result)) + jobOverheadBytes
+	j.lruElem = m.lru.PushFront(j)
+	m.lruBytes += j.cost
+	for m.lruBytes > m.cfg.CacheBytes && m.lru.Len() > 1 {
+		ev := m.lru.Back().Value.(*Job)
+		if ev == j {
+			break
+		}
+		m.removeLocked(ev)
+		m.met.evictions.Add(1)
+	}
+}
+
+// jobOverheadBytes approximates per-entry bookkeeping (job struct, map and
+// list slots, spec) so even empty results have nonzero cache cost.
+const jobOverheadBytes = 1024
+
+// touchLocked marks a cached job most recently used.
+func (m *manager) touchLocked(j *Job) {
+	if j.lruElem != nil {
+		m.lru.MoveToFront(j.lruElem)
+	}
+}
+
+// removeLocked forgets a job entirely (cache eviction or stale-failure
+// replacement).
+func (m *manager) removeLocked(j *Job) {
+	if j.lruElem != nil {
+		m.lru.Remove(j.lruElem)
+		m.lruBytes -= j.cost
+		j.lruElem = nil
+	}
+	delete(m.jobs, j.ID)
+}
+
+// CacheStats reports the cache size for metrics.
+func (m *manager) CacheStats() (entries int, bytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lru.Len(), m.lruBytes
+}
+
+// QueueDepth reports jobs waiting for a worker.
+func (m *manager) QueueDepth() int { return len(m.queue) }
+
+// Draining reports whether shutdown has begun.
+func (m *manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// Shutdown stops admission immediately, drains queued and running jobs
+// until ctx's deadline, then cancels whatever is still in flight and waits
+// for the workers to exit. Accepted jobs are never dropped silently: each
+// reaches Done, Failed, or Canceled.
+func (m *manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	first := !m.closed
+	m.closed = true
+	m.mu.Unlock()
+	if first {
+		close(m.queue) // workers drain what was admitted, then exit
+	}
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel() // cancel in-flight and still-queued jobs
+		<-drained
+		return fmt.Errorf("drain deadline exceeded, in-flight jobs canceled: %w", ctx.Err())
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "... (truncated)"
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the daemon's counters. Everything is atomic so the hot
+// paths (submit, job completion) never serialize on a metrics lock; gauges
+// that describe current state (queue depth, jobs by state, cache size) are
+// computed from the manager at scrape time instead of being tracked here.
+type metrics struct {
+	cacheHits     atomic.Int64 // submissions served from the result cache
+	cacheMisses   atomic.Int64 // submissions that enqueued a new job
+	dedupInflight atomic.Int64 // submissions attached to a queued/running job
+	rejected      atomic.Int64 // submissions shed with 429 (queue full)
+	evictions     atomic.Int64 // cache entries dropped to stay under the byte cap
+
+	finished      [numStates]atomic.Int64 // terminal jobs by final state
+	finishedNanos [numStates]atomic.Int64 // total wall-clock by final state
+}
+
+// observe records one terminal job.
+func (m *metrics) observe(st State, wall time.Duration) {
+	m.finished[st].Add(1)
+	m.finishedNanos[st].Add(wall.Nanoseconds())
+}
+
+// writeProm emits the Prometheus text exposition format (0.0.4). Hand
+// rolled: the repo is stdlib-only, and the format is just typed lines.
+func (m *metrics) writeProm(w io.Writer, mgr *manager) {
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("hostnetd_queue_depth", "Jobs waiting for a worker.", mgr.QueueDepth())
+	gauge("hostnetd_queue_capacity", "Bounded queue size; beyond this submissions get 429.", cap(mgr.queue))
+
+	var byState [numStates]int
+	for _, j := range mgr.Jobs() {
+		byState[j.State()]++
+	}
+	fmt.Fprintf(w, "# HELP hostnetd_jobs Jobs currently tracked (live and cached), by state.\n# TYPE hostnetd_jobs gauge\n")
+	for st := StateQueued; st < numStates; st++ {
+		fmt.Fprintf(w, "hostnetd_jobs{state=%q} %d\n", st.String(), byState[st])
+	}
+
+	entries, bytes := mgr.CacheStats()
+	counter("hostnetd_cache_hits_total", "Submissions served from the result cache.", m.cacheHits.Load())
+	counter("hostnetd_cache_misses_total", "Submissions that started a new simulation.", m.cacheMisses.Load())
+	counter("hostnetd_inflight_dedup_total", "Submissions deduplicated onto an in-flight identical job.", m.dedupInflight.Load())
+	counter("hostnetd_jobs_rejected_total", "Submissions shed with 429 because the queue was full.", m.rejected.Load())
+	counter("hostnetd_cache_evictions_total", "Cached results evicted to stay under the byte cap.", m.evictions.Load())
+	gauge("hostnetd_cache_entries", "Terminal jobs held in the result cache.", entries)
+	gauge("hostnetd_cache_bytes", "Approximate bytes held by the result cache.", bytes)
+
+	fmt.Fprintf(w, "# HELP hostnetd_jobs_finished_total Jobs that reached a terminal state.\n# TYPE hostnetd_jobs_finished_total counter\n")
+	for _, st := range []State{StateDone, StateFailed, StateCanceled} {
+		fmt.Fprintf(w, "hostnetd_jobs_finished_total{state=%q} %d\n", st.String(), m.finished[st].Load())
+	}
+	fmt.Fprintf(w, "# HELP hostnetd_job_seconds_total Wall-clock seconds spent executing jobs, by terminal state.\n# TYPE hostnetd_job_seconds_total counter\n")
+	for _, st := range []State{StateDone, StateFailed, StateCanceled} {
+		fmt.Fprintf(w, "hostnetd_job_seconds_total{state=%q} %g\n",
+			st.String(), float64(m.finishedNanos[st].Load())/1e9)
+	}
+	gauge("hostnetd_draining", "1 once shutdown has begun, else 0.", boolToInt(mgr.Draining()))
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,405 @@
+// Package serve implements hostnetd: the host-network simulator as a
+// service. It layers a bounded job queue, a content-addressed result
+// cache, and a small JSON/NDJSON HTTP API over the deterministic
+// experiment sweeps in internal/exp.
+//
+// Because sweeps are bit-identical at any parallelism (PR 1), a job spec
+// fully determines its result bytes. The daemon exploits that three ways:
+//
+//   - Concurrent identical submissions collapse onto one in-flight job —
+//     one simulation serves every waiter.
+//   - Completed results are cached by the SHA-256 of the canonical spec
+//     encoding and re-served without recomputation (LRU, byte-capped).
+//   - The served bytes are byte-identical to `hostnetsim -format json`
+//     for the same spec.
+//
+// Load is shed, never buffered unboundedly: when the admission queue is
+// full, POST /jobs returns 429 with Retry-After. Shutdown stops admission
+// immediately, drains accepted jobs until a deadline, then cancels the
+// remainder — an accepted job always reaches done, failed, or canceled.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/version"
+)
+
+// Config tunes the daemon. The zero value is usable: withDefaults fills
+// every field.
+type Config struct {
+	// QueueDepth bounds jobs waiting for a worker; a full queue sheds load
+	// with 429. Default 64.
+	QueueDepth int
+	// Workers is the number of jobs executed concurrently. Default 2.
+	Workers int
+	// JobTimeout bounds one job's wall-clock execution. Default 15m.
+	JobTimeout time.Duration
+	// CacheBytes caps the result cache. Default 256 MiB.
+	CacheBytes int64
+	// MaxWindowNs caps a submitted spec's measurement window (and warmup)
+	// in simulated nanoseconds, so one request cannot monopolize the
+	// daemon. Default 10ms of simulated time; negative disables the cap.
+	MaxWindowNs int64
+	// Parallelism is the sweep-pool width per job (exp.Options.Parallelism).
+	// Default 0: one goroutine per sweep point.
+	Parallelism int
+	// Audit enables simulator invariant auditing inside jobs.
+	Audit bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 15 * time.Minute
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.MaxWindowNs == 0 {
+		c.MaxWindowNs = 10_000_000 // 10ms simulated
+	}
+	return c
+}
+
+// Server is the hostnetd HTTP surface. Create with New, mount Handler,
+// and call Shutdown before exiting.
+type Server struct {
+	cfg   Config
+	met   *metrics
+	mgr   *manager
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		met:   &metrics{},
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mgr = newManager(cfg, s.met)
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /version", s.handleVersion)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown stops admission, drains accepted jobs until ctx's deadline,
+// then cancels the rest. See manager.Shutdown.
+func (s *Server) Shutdown(ctx context.Context) error { return s.mgr.Shutdown(ctx) }
+
+// JobStatus is the API's view of one job.
+type JobStatus struct {
+	ID          string   `json:"id"`
+	State       string   `json:"state"`
+	Outcome     string   `json:"outcome,omitempty"` // submit responses only
+	Spec        exp.Spec `json:"spec"`
+	PointsDone  int64    `json:"points_done"`
+	PointsTotal int      `json:"points_total,omitempty"` // estimate; 0 = unknown
+	Error       string   `json:"error,omitempty"`
+	SubmittedAt string   `json:"submitted_at,omitempty"`
+	StartedAt   string   `json:"started_at,omitempty"`
+	FinishedAt  string   `json:"finished_at,omitempty"`
+	ElapsedMS   int64    `json:"elapsed_ms,omitempty"` // run wall-clock so far or total
+	ResultBytes int      `json:"result_bytes,omitempty"`
+}
+
+func statusOf(j *Job) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.ID,
+		State:       j.state.String(),
+		Spec:        j.Spec,
+		PointsDone:  j.points,
+		PointsTotal: exp.SpecTasks(j.Spec),
+		Error:       j.errMsg,
+		ResultBytes: len(j.result),
+	}
+	stamp := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	st.SubmittedAt = stamp(j.submitted)
+	st.StartedAt = stamp(j.started)
+	st.FinishedAt = stamp(j.finished)
+	switch {
+	case !j.finished.IsZero() && !j.started.IsZero():
+		st.ElapsedMS = j.finished.Sub(j.started).Milliseconds()
+	case !j.started.IsZero():
+		st.ElapsedMS = time.Since(j.started).Milliseconds()
+	}
+	return st
+}
+
+// apiError is the JSON error body for every non-2xx response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxSpecBody bounds a submitted spec; real specs are well under 1 KiB.
+const maxSpecBody = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec exp.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	if s.cfg.MaxWindowNs > 0 {
+		if spec.WindowNs > s.cfg.MaxWindowNs || spec.WarmupNs > s.cfg.MaxWindowNs {
+			writeError(w, http.StatusBadRequest,
+				"window_ns/warmup_ns exceed this server's cap of %d simulated ns", s.cfg.MaxWindowNs)
+			return
+		}
+	}
+	canonical, err := spec.Canonical()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "cannot canonicalize spec: %v", err)
+		return
+	}
+	j, outcome, err := s.mgr.Submit(spec, canonical)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v (capacity %d)", err, s.cfg.QueueDepth)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	st := statusOf(j)
+	st.Outcome = outcome.String()
+	code := http.StatusAccepted
+	if outcome == OutcomeCacheHit {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.mgr.Jobs()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, statusOf(j))
+	}
+	// Oldest submission first: deterministic enough for humans, and the map
+	// iteration order never leaks.
+	sortStatuses(out)
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{out})
+}
+
+func sortStatuses(st []JobStatus) {
+	for i := 1; i < len(st); i++ {
+		for k := i; k > 0 && less(st[k], st[k-1]); k-- {
+			st[k], st[k-1] = st[k-1], st[k]
+		}
+	}
+}
+
+func less(a, b JobStatus) bool {
+	if a.SubmittedAt != b.SubmittedAt {
+		return a.SubmittedAt < b.SubmittedAt
+	}
+	return a.ID < b.ID
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) *Job {
+	j := s.mgr.Get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.job(w, r); j != nil {
+		writeJSON(w, http.StatusOK, statusOf(j))
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	j.requestCancel("client request")
+	writeJSON(w, http.StatusOK, statusOf(j))
+}
+
+// handleResult serves the canonical result bytes. With ?wait=true it
+// blocks until the job finishes (or the client goes away).
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	if wantWait(r) {
+		select {
+		case <-j.Done():
+		case <-r.Context().Done():
+			return
+		}
+	}
+	result, errMsg, state := j.Result()
+	switch state {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(result)
+		w.Write([]byte("\n")) // byte-identical to one `hostnetsim -format json` line
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, "job failed: %s", errMsg)
+	case StateCanceled:
+		writeError(w, http.StatusConflict, "%s", errMsg)
+	default:
+		writeError(w, http.StatusConflict, "job is %s; retry later or use ?wait=true", state)
+	}
+}
+
+func wantWait(r *http.Request) bool {
+	v := strings.ToLower(r.URL.Query().Get("wait"))
+	return v == "1" || v == "true" || v == "yes"
+}
+
+// streamEvent is one NDJSON line on /jobs/{id}/stream.
+type streamEvent struct {
+	Event       string          `json:"event"` // "status", "progress", "done"
+	State       string          `json:"state,omitempty"`
+	PointsDone  int64           `json:"points_done"`
+	PointsTotal int             `json:"points_total,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+}
+
+// handleStream streams job progress as NDJSON: an initial status event,
+// a coalesced progress event per completed sweep point, and a final done
+// event carrying the result (or error) inline.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	enc := json.NewEncoder(w)
+	total := exp.SpecTasks(j.Spec)
+
+	emit := func(ev streamEvent) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	sub := j.subscribe()
+	defer j.unsubscribe(sub)
+
+	if !emit(streamEvent{Event: "status", State: j.State().String(), PointsDone: j.PointsDone(), PointsTotal: total}) {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub:
+			if !emit(streamEvent{Event: "progress", PointsDone: j.PointsDone(), PointsTotal: total}) {
+				return
+			}
+		case <-j.Done():
+			result, errMsg, state := j.Result()
+			emit(streamEvent{
+				Event:      "done",
+				State:      state.String(),
+				PointsDone: j.PointsDone(), PointsTotal: total,
+				Error:  errMsg,
+				Result: json.RawMessage(result),
+			})
+			return
+		}
+	}
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Experiments []string `json:"experiments"`
+	}{exp.Experiments()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	state := "serving"
+	if s.mgr.Draining() {
+		state = "draining"
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status  string `json:"status"`
+		State   string `json:"state"`
+		UpSec   int64  `json:"uptime_seconds"`
+		Workers int    `json:"workers"`
+	}{"ok", state, int64(time.Since(s.start).Seconds()), s.cfg.Workers})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.writeProm(w, s.mgr)
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, version.Get())
+}

@@ -1,0 +1,65 @@
+// Package version derives build identification from the information the Go
+// toolchain embeds in every binary (runtime/debug.ReadBuildInfo), so the
+// CLI's -version flag and hostnetd's /version endpoint report the module
+// version, VCS revision, and toolchain without any linker-flag plumbing.
+package version
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Info is the build identification exposed at hostnetd's /version endpoint
+// and printed by the -version flag of both binaries.
+type Info struct {
+	Version   string `json:"version"`              // module version, or "devel"
+	Revision  string `json:"revision,omitempty"`   // vcs.revision, if stamped
+	BuildTime string `json:"build_time,omitempty"` // vcs.time, if stamped
+	Modified  bool   `json:"modified,omitempty"`   // vcs.modified (dirty tree)
+	GoVersion string `json:"go_version"`
+}
+
+// Get reads the running binary's build info. It never fails: binaries built
+// without VCS stamping (e.g. `go test` binaries) report Version "devel"
+// with only the toolchain filled in.
+func Get() Info {
+	info := Info{Version: "devel", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		info.Version = v
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.BuildTime = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the info on one line, e.g. "devel+1a2b3c4d5e6f (go1.22.0)".
+func (i Info) String() string {
+	s := i.Version
+	if rev := i.Revision; rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		// VCS-stamped pseudo-versions already embed the short revision (and
+		// a +dirty marker); don't repeat what the version string shows.
+		if !strings.Contains(s, rev) {
+			s += "+" + rev
+		}
+	}
+	if i.Modified && !strings.Contains(s, "dirty") {
+		s += "-dirty"
+	}
+	return s + " (" + i.GoVersion + ")"
+}

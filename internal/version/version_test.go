@@ -1,0 +1,38 @@
+package version
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestGetNeverEmpty(t *testing.T) {
+	i := Get()
+	if i.Version == "" {
+		t.Error("Version empty; want at least \"devel\"")
+	}
+	if !strings.HasPrefix(i.GoVersion, "go") {
+		t.Errorf("GoVersion = %q, want go toolchain version", i.GoVersion)
+	}
+	if s := i.String(); !strings.Contains(s, i.Version) || !strings.Contains(s, i.GoVersion) {
+		t.Errorf("String() = %q, missing version or toolchain", s)
+	}
+}
+
+func TestInfoJSONShape(t *testing.T) {
+	b, err := json.Marshal(Info{Version: "v1.2.3", Revision: "abc", GoVersion: "go1.22.0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"version":"v1.2.3","revision":"abc","go_version":"go1.22.0"}`
+	if string(b) != want {
+		t.Errorf("got %s, want %s", b, want)
+	}
+}
+
+func TestStringDirtyAndTruncation(t *testing.T) {
+	i := Info{Version: "devel", Revision: "0123456789abcdef", Modified: true, GoVersion: "go1.22.0"}
+	if got, want := i.String(), "devel+0123456789ab-dirty (go1.22.0)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
