@@ -25,6 +25,10 @@
 //	          pools are checked for conservation between events and latency
 //	          probes cross-checked against direct timestamps; any violation
 //	          aborts with the domain, counter, and simulated time
+//	-faults   fault schedule for the experiments that honor one (quadrant,
+//	          rdma, hostcc, faultsweep): a JSON array of windows, inline or
+//	          "@file" (see EXPERIMENTS.md "Fault scenarios"), e.g.
+//	          '[{"kind":"pfc_pause_storm","start_ns":30000,"duration_ns":25000}]'
 //
 // Profiling (see README "Performance & profiling"):
 //
@@ -34,6 +38,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -60,6 +65,7 @@ func realMain() int {
 	warmup := flag.Duration("warmup", 20*time.Microsecond, "warmup before measuring (simulated)")
 	ddio := flag.Bool("ddio", false, "enable DDIO in quadrant experiments")
 	auditOn := flag.Bool("audit", false, "check credit-conservation invariants during every run")
+	faultsArg := flag.String("faults", "", "fault schedule: JSON array of windows, or @file")
 	csvOut := flag.Bool("csv", false, "emit quadrant experiments as CSV instead of tables")
 	format := flag.String("format", "table", "output format: table (rendered) or json (canonical machine-readable)")
 	showVersion := flag.Bool("version", false, "print build version and exit")
@@ -128,13 +134,19 @@ func realMain() int {
 	if *auditOn {
 		opt.Audit = true
 	}
+	faults, err := parseFaults(*faultsArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "-faults:", err)
+		return 2
+	}
+	opt.Faults = faults
 
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: hostnetsim [flags] <experiment>...")
 		fmt.Fprintln(os.Stderr, "experiments: table1 fig1 fig2 fig3 fig6 fig7 fig8 fig11 fig12 fig13 fig14")
 		fmt.Fprintln(os.Stderr, "             fig15 fig16 fig17 fig18 fig19 fig23 fig27 fig29 domains")
-		fmt.Fprintln(os.Stderr, "             prefetch hostcc mcisolation ratio cxl all")
+		fmt.Fprintln(os.Stderr, "             prefetch hostcc mcisolation ratio cxl faultsweep all")
 		return 2
 	}
 	if *format == "json" {
@@ -164,6 +176,7 @@ func runJSON(opt hostnet.Options, window, warmup time.Duration, ddio bool, names
 			WindowNs:   window.Nanoseconds(),
 			WarmupNs:   warmup.Nanoseconds(),
 			DDIO:       ddio,
+			Faults:     opt.Faults,
 		}
 		b, err := exp.RunSpecJSON(spec, opt)
 		if err != nil {
@@ -286,6 +299,12 @@ func run(opt hostnet.Options, names ...string) int {
 			fmt.Fprintf(w, "MC isolation via WPQ reservation (red regime, Q3 with 5 cores, reserve=16):\n")
 			fmt.Fprintf(w, "  P2M degradation: %.2fx -> %.2fx\n", s.P2MDegrOff(), s.P2MDegrOn())
 			fmt.Fprintf(w, "  C2M degradation: %.2fx -> %.2fx\n\n", s.C2MDegrOff(), s.C2MDegrOn())
+		case "faultsweep":
+			sched := opt.Faults
+			if len(sched) == 0 {
+				sched = exp.DefaultFaultSchedule(int64(opt.Warmup/sim.Nanosecond), int64(opt.Window/sim.Nanosecond))
+			}
+			renderFaultSweep(w, hostnet.RunFaultSweep(hostnet.Q3, []int{2, 4, 6}, sched, opt))
 		case "hostcc":
 			s := hostnet.RunHostCCStudy(hostnet.Q3, 5, hostnet.DefaultHostCCConfig(), opt)
 			fmt.Fprintf(w, "hostCC-style mitigation (red regime, Q3 with 5 cores):\n")
@@ -322,6 +341,49 @@ func renderDCTCPFormula(w *os.File, read, rw []exp.DCTCPFormulaPoint) {
 			fmt.Sprintf("%+.1f", f.NetC2MErrPct), fmt.Sprintf("%+.1f", f.NetP2MErrPct))
 	}
 	t.Render(w)
+}
+
+func renderFaultSweep(w *os.File, s *exp.FaultSweep) {
+	fmt.Fprintf(w, "fault sweep (RDMA quadrant %d under %d fault windows):\n", s.Quadrant, len(s.Schedule))
+	for _, f := range s.Schedule {
+		fmt.Fprintf(w, "  %-18s start=%dns dur=%dns mag=%.2g ch=%d bank=%d\n",
+			f.Kind, f.StartNs, f.DurationNs, f.Magnitude, f.Channel, f.Bank)
+	}
+	t := exp.Table{
+		Title: "healthy vs faulted degradation",
+		Header: []string{"cores", "C2M degr", "C2M faulted", "P2M degr", "P2M faulted",
+			"pause", "pause faulted"},
+	}
+	for _, p := range s.Points {
+		t.Add(p.Cores,
+			fmt.Sprintf("%.2fx", p.Healthy.C2MDegradation()), fmt.Sprintf("%.2fx", p.Faulted.C2MDegradation()),
+			fmt.Sprintf("%.2fx", p.Healthy.P2MDegradation()), fmt.Sprintf("%.2fx", p.Faulted.P2MDegradation()),
+			fmt.Sprintf("%.2f", p.Healthy.PauseFrac), fmt.Sprintf("%.2f", p.Faulted.PauseFrac))
+	}
+	t.Render(w)
+}
+
+// parseFaults decodes the -faults argument: empty, inline JSON, or @file.
+func parseFaults(arg string) (hostnet.FaultSchedule, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	data := []byte(arg)
+	if strings.HasPrefix(arg, "@") {
+		b, err := os.ReadFile(arg[1:])
+		if err != nil {
+			return nil, err
+		}
+		data = b
+	}
+	var s hostnet.FaultSchedule
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("decoding fault schedule: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s.Normalized(), nil
 }
 
 func head(xs []int, n int) []int {

@@ -28,6 +28,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/cxl"
 	"repro/internal/exp"
+	"repro/internal/fault"
 	"repro/internal/host"
 	"repro/internal/hostcc"
 	"repro/internal/mem"
@@ -90,6 +91,28 @@ type (
 	// Auditor collects violations (or panics, under FailFast); reach it via
 	// Host.Auditor / DualHost.Auditor.
 	Auditor = audit.Auditor
+	// FaultKind names a fault-injection mechanism (see the Fault* consts).
+	FaultKind = fault.Kind
+	// FaultWindow is one transient fault: a (start, duration, magnitude)
+	// interval over one credit domain, in absolute simulated nanoseconds
+	// from engine start.
+	FaultWindow = fault.Window
+	// FaultSchedule is a set of fault windows (Config.Faults /
+	// Options.Faults); empty means a healthy run at zero overhead.
+	FaultSchedule = fault.Schedule
+	// FaultInjector schedules a FaultSchedule's windows through a host's
+	// engine; reach it via Host.Faults / DualHost.Faults.
+	FaultInjector = fault.Injector
+)
+
+// Fault kinds.
+const (
+	FaultLinkFlap     = fault.LinkFlap
+	FaultPauseStorm   = fault.PauseStorm
+	FaultDRAMThrottle = fault.DRAMThrottle
+	FaultBankOffline  = fault.BankOffline
+	FaultIIOStarve    = fault.IIOStarve
+	FaultLaneDegrade  = fault.LaneDegrade
 )
 
 // Time units.
@@ -242,6 +265,16 @@ func WithAudit(opt Options, on bool) Options {
 	return opt
 }
 
+// WithFaults returns opt with the fault schedule applied to every host the
+// experiment builds. Fault windows run through the event engine, so faulted
+// runs keep the determinism guarantees: bit-identical at any parallelism,
+// identical with auditing on or off. An empty schedule restores healthy
+// hosts at zero overhead.
+func WithFaults(opt Options, s FaultSchedule) Options {
+	opt.Faults = s
+	return opt
+}
+
 // Experiment entry points, one per paper artifact. Each returns structured
 // results; the matching Render* helper prints the same rows the paper
 // reports.
@@ -261,6 +294,7 @@ var (
 
 	RunQuadrant         = exp.RunQuadrant
 	RunRDMAQuadrant     = exp.RunRDMAQuadrant
+	RunFaultSweep       = exp.RunFaultSweep
 	RunDCTCP            = exp.RunDCTCP
 	RunPrefetchStudy    = exp.RunPrefetchStudy
 	RunHostCCStudy      = exp.RunHostCCStudy

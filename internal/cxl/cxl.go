@@ -78,6 +78,9 @@ type Expander struct {
 
 	// Link serialization, per direction (0 = host->device).
 	freeAt [2]sim.Time
+	// linePeriod is the live per-line serialization time: cfg.LinePeriod
+	// normally, stretched while a lane-degradation fault is active.
+	linePeriod sim.Time
 
 	// writes blocked on a full WPQ await retry.
 	wBacklog []*mem.Request
@@ -129,6 +132,7 @@ func New(eng *sim.Engine, cfg Config) *Expander {
 		cfg.MC.AuditDomain = "cxl/mc"
 	}
 	e.cfg = cfg
+	e.linePeriod = cfg.LinePeriod
 	e.mc = dram.New(eng, cfg.MC, mem.MustMapper(cfg.Mapper), e)
 	e.arriveFn = e.arriveEvent
 	e.ackFn = e.ackEvent
@@ -149,9 +153,24 @@ func (e *Expander) serialize(dir int) sim.Time {
 	if start < now {
 		start = now
 	}
-	e.freeAt[dir] = start + e.cfg.LinePeriod
+	e.freeAt[dir] = start + e.linePeriod
 	return e.freeAt[dir] - now
 }
+
+// FaultSetLineMult multiplies per-line link serialization time by mult
+// (lanes dropping to a degraded width/speed); mult <= 1 restores the
+// configured rate. Lines already reserved keep their slots.
+func (e *Expander) FaultSetLineMult(mult float64) {
+	if mult <= 1 {
+		e.linePeriod = e.cfg.LinePeriod
+		return
+	}
+	e.linePeriod = sim.Time(float64(e.cfg.LinePeriod)*mult + 0.5)
+}
+
+// MC exposes the expander's internal memory controller (a DRAM fault
+// target like the host's own).
+func (e *Expander) MC() *dram.Controller { return e.mc }
 
 // Submit implements mem.Submitter: the host-side CXL port.
 func (e *Expander) Submit(r *mem.Request) {

@@ -233,6 +233,12 @@ type channel struct {
 	waker        *sim.Waker
 	burstFn      sim.EventFunc // bound burstDone handler, created once
 
+	// timing points at the constants the scheduler uses: the controller's
+	// configured Timing normally, or throttled (a scaled copy) while a
+	// fault-injected channel slowdown is active.
+	timing    *Timing
+	throttled Timing
+
 	// bank-load sampling state
 	bankLoads   []int
 	sampleCount int
@@ -296,6 +302,7 @@ func New(eng *sim.Engine, cfg Config, mapper *mem.Mapper, client Client) *Contro
 		for b := range ch.banks {
 			ch.banks[b].openRow = -1
 		}
+		ch.timing = &c.cfg.Timing
 		ch.waker = sim.NewWaker(eng, ch.kick)
 		ch.burstFn = ch.burstDoneEvent
 		c.chans = append(c.chans, ch)
@@ -343,6 +350,45 @@ func New(eng *sim.Engine, cfg Config, mapper *mem.Mapper, client Client) *Contro
 
 // SetClient installs the notification sink.
 func (c *Controller) SetClient(cl Client) { c.client = cl }
+
+// FaultSetChannelSlowdown multiplies one channel's timing constants by
+// factor (thermal throttling / DVFS on the DIMM); factor <= 1 restores the
+// configured timing. The channel index wraps modulo the channel count.
+// Only future command scheduling uses the new constants — bursts already
+// committed keep their times, as on real hardware.
+func (c *Controller) FaultSetChannelSlowdown(channel int, factor float64) {
+	ch := c.chans[channel%len(c.chans)]
+	if factor <= 1 {
+		ch.timing = &c.cfg.Timing
+	} else {
+		t := c.cfg.Timing
+		scale := func(v sim.Time) sim.Time { return sim.Time(float64(v)*factor + 0.5) }
+		ch.throttled = Timing{
+			TTrans: scale(t.TTrans),
+			TRCD:   scale(t.TRCD),
+			TRP:    scale(t.TRP),
+			TCL:    scale(t.TCL),
+			TWTR:   scale(t.TWTR),
+			TRTW:   scale(t.TRTW),
+		}
+		ch.timing = &ch.throttled
+	}
+	ch.waker.Wake()
+}
+
+// FaultBankOffline takes (channel, bank) out of service until the given
+// simulated time: the open row is lost and every access to the bank queues
+// behind the outage (the FR-FCFS scan naturally prefers other banks
+// meanwhile). Indices wrap modulo the controller geometry.
+func (c *Controller) FaultBankOffline(channel, bankIdx int, until sim.Time) {
+	ch := c.chans[channel%len(c.chans)]
+	b := &ch.banks[bankIdx%len(ch.banks)]
+	if b.readyAt < until {
+		b.readyAt = until
+	}
+	b.openRow = -1
+	ch.waker.Wake()
+}
 
 // Stats returns the controller's probes.
 func (c *Controller) Stats() *Stats { return c.stats }
@@ -412,7 +458,7 @@ func (c *Controller) updateWPQFull() {
 // prepDelay computes the bank-side delay for accessing (bank, row) and
 // updates row-outcome counters.
 func (ch *channel) prepDelay(b *bank, row int64, ks *KindStats) sim.Time {
-	t := &ch.ctl.cfg.Timing
+	t := ch.timing
 	ks.Lines.Inc()
 	switch {
 	case b.openRow == row:
@@ -433,7 +479,7 @@ func (ch *channel) prepDelay(b *bank, row int64, ks *KindStats) sim.Time {
 // ready request in the scan window.
 func (ch *channel) pickIndex(q []*mem.Request) int {
 	now := ch.ctl.eng.Now()
-	t := &ch.ctl.cfg.Timing
+	t := ch.timing
 	chanFree := ch.busyTill
 	if chanFree < now {
 		chanFree = now
@@ -533,7 +579,7 @@ func (ch *channel) desiredMode() mem.Kind {
 func (ch *channel) kick() {
 	eng := ch.ctl.eng
 	cfg := &ch.ctl.cfg
-	t := &cfg.Timing
+	t := ch.timing
 	for {
 		now := eng.Now()
 		if want := ch.desiredMode(); want != ch.mode {
@@ -587,7 +633,7 @@ func (ch *channel) kick() {
 func (ch *channel) issue(r *mem.Request) {
 	eng := ch.ctl.eng
 	now := eng.Now()
-	t := &ch.ctl.cfg.Timing
+	t := ch.timing
 	coord := ch.ctl.mapper.Map(r.Addr)
 	b := &ch.banks[coord.Bank]
 	ks := ch.ctl.stats.kindStats(r.Source, r.Kind)

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/analytic"
 	"repro/internal/audit"
+	"repro/internal/fault"
 	"repro/internal/host"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -39,6 +40,11 @@ type Options struct {
 	// off. Defaults() also turns it on when HOSTNET_AUDIT is set, which is
 	// how CI audits every figure smoke test.
 	Audit bool
+	// Faults schedules deterministic degradation windows on every host the
+	// experiment builds (each sweep point re-runs the same schedule on its
+	// own engine, so results stay bit-identical at any parallelism). Faults
+	// change results, so specs carry them; empty means healthy.
+	Faults fault.Schedule
 	// BaseCtx, when non-nil, bounds every multi-point sweep: once the
 	// context is done no further points start, and the sweep surfaces the
 	// cancellation (hostnetd uses this for per-job timeout and shutdown).
@@ -77,6 +83,7 @@ func (o Options) newHost() *host.Host {
 	cfg.DDIO.Enabled = o.DDIO
 	cfg.DDIO.ScrambleEvictions = o.DDIO
 	cfg.Audit = o.auditConfig()
+	cfg.Faults = o.Faults
 	return host.New(cfg)
 }
 

@@ -1,0 +1,201 @@
+package exp
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// faultDetOptions are fault-test options kept deliberately tiny: the
+// property tests below run several full sweeps per generated schedule.
+func faultDetOptions(parallelism int) Options {
+	opt := Defaults()
+	opt.Warmup = 2 * sim.Microsecond
+	opt.Window = 5 * sim.Microsecond
+	opt.Parallelism = parallelism
+	return opt
+}
+
+// genSchedule draws a bounded random fault schedule that always validates:
+// kinds cycle through the full set, windows are laid out back to back per
+// kind so same-target overlap cannot occur.
+func genSchedule(r *rand.Rand) fault.Schedule {
+	n := 1 + r.Intn(4)
+	kinds := fault.Kinds()
+	s := make(fault.Schedule, 0, n)
+	for i := 0; i < n; i++ {
+		k := kinds[r.Intn(len(kinds))]
+		w := fault.Window{
+			Kind: k,
+			// Inside warmup+window (2000+5000 ns); per-index lanes avoid
+			// same-target overlap without constraining cross-kind overlap.
+			StartNs:    int64(i)*1500 + int64(r.Intn(500)),
+			DurationNs: 200 + int64(r.Intn(1200)),
+		}
+		switch k {
+		case fault.IIOStarve:
+			w.Magnitude = 0.25 + 0.75*r.Float64()
+		case fault.DRAMThrottle, fault.LaneDegrade:
+			w.Magnitude = 1 + 7*r.Float64()
+		}
+		if k == fault.DRAMThrottle || k == fault.BankOffline {
+			w.Channel = r.Intn(4)
+		}
+		if k == fault.BankOffline {
+			w.Bank = r.Intn(20)
+		}
+		s = append(s, w)
+	}
+	return s
+}
+
+// TestFaultScheduleDeterminismProperty is the tentpole's determinism
+// guarantee as a property: for ANY valid fault schedule, the faulted sweep
+// is bit-identical serial vs parallel, byte for byte through the full JSON
+// result path.
+func TestFaultScheduleDeterminismProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test runs several full sweeps per case")
+	}
+	prop := func(seed int64) bool {
+		sched := genSchedule(rand.New(rand.NewSource(seed)))
+		if err := sched.Validate(); err != nil {
+			t.Fatalf("generator produced an invalid schedule: %v", err)
+		}
+		spec := Spec{
+			Experiment: "rdma", Quadrant: 3, Cores: []int{2},
+			WarmupNs: 2000, WindowNs: 5000, Faults: sched,
+		}
+		serial, err := RunSpecJSON(spec, faultDetOptions(1))
+		if err != nil {
+			t.Fatalf("serial run: %v", err)
+		}
+		parallel, err := RunSpecJSON(spec, faultDetOptions(4))
+		if err != nil {
+			t.Fatalf("parallel run: %v", err)
+		}
+		if !bytes.Equal(serial, parallel) {
+			t.Logf("schedule %+v diverged serial vs parallel", sched)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultAuditByteIdentity pins the auditor's observational contract on a
+// faulted run: the invariant machinery inspects every fault window but must
+// not change a byte of the result.
+func TestFaultAuditByteIdentity(t *testing.T) {
+	spec := Spec{
+		Experiment: "faultsweep", Cores: []int{2},
+		WarmupNs: 2000, WindowNs: 5000,
+	}
+	plain := faultDetOptions(0)
+	plain.Audit = false
+	audited := faultDetOptions(0)
+	audited.Audit = true
+	a, err := RunSpecJSON(spec, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSpecJSON(spec, audited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("faultsweep results differ with audit on vs off")
+	}
+}
+
+// TestEmptyFaultsMatchesNoFaults pins the healthy-path contract end to end:
+// a spec with `faults: []` normalizes, hashes, and runs identically to one
+// with the field absent.
+func TestEmptyFaultsMatchesNoFaults(t *testing.T) {
+	absent := Spec{Experiment: "rdma", Quadrant: 3, Cores: []int{1}, WarmupNs: 2000, WindowNs: 5000}
+	empty := absent
+	empty.Faults = []fault.Window{}
+	if !reflect.DeepEqual(absent.Normalized(), empty.Normalized()) {
+		t.Fatal("empty fault list must normalize away")
+	}
+	ha, err := absent.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	he, err := empty.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != he {
+		t.Fatal("empty fault list changed the spec hash")
+	}
+	a, err := RunSpecJSON(absent, faultDetOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSpecJSON(empty, faultDetOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("empty fault list changed result bytes")
+	}
+}
+
+// TestFaultsClearedOnNonFaultExperiments: experiments that do not honor the
+// knob normalize it away (the unread-knob convention), so a stray fault
+// list cannot fragment the result cache.
+func TestFaultsClearedOnNonFaultExperiments(t *testing.T) {
+	s := Spec{Experiment: "ratio", Faults: []fault.Window{
+		{Kind: fault.PauseStorm, StartNs: 0, DurationNs: 100},
+	}}
+	if n := s.Normalized(); n.Faults != nil {
+		t.Fatalf("ratio spec kept faults after normalization: %+v", n.Faults)
+	}
+}
+
+// TestFaultSweepPairsHealthyAndFaulted sanity-checks the new experiment:
+// the faulted half must actually degrade relative to its healthy twin (the
+// default schedule includes a PFC pause storm, so colocated pause time
+// must rise), and the healthy half must match a plain RDMA sweep.
+func TestFaultSweepPairsHealthyAndFaulted(t *testing.T) {
+	opt := faultDetOptions(0)
+	sched := DefaultFaultSchedule(2000, 5000)
+	fs := RunFaultSweep(Q3, []int{2}, sched, opt)
+	if len(fs.Points) != 1 {
+		t.Fatalf("want 1 point, got %d", len(fs.Points))
+	}
+	p := fs.Points[0]
+	if !reflect.DeepEqual(fs.Schedule, sched.Normalized()) {
+		t.Fatal("FaultSweep.Schedule is not the normalized input schedule")
+	}
+	plain := RunRDMAQuadrant(Q3, []int{2}, opt)
+	if !reflect.DeepEqual(p.Healthy, plain[0]) {
+		t.Fatal("healthy half of the fault sweep differs from a plain RDMA sweep")
+	}
+	if p.Faulted.PauseFrac <= p.Healthy.PauseFrac {
+		t.Fatalf("pause storm did not raise pause time: healthy=%v faulted=%v",
+			p.Healthy.PauseFrac, p.Faulted.PauseFrac)
+	}
+}
+
+// TestFaultSpecValidation: invalid fault windows must be rejected at spec
+// validation (the hostnetd submit path), not at run time.
+func TestFaultSpecValidation(t *testing.T) {
+	bad := Spec{Experiment: "rdma", Faults: []fault.Window{
+		{Kind: "meteor_strike", StartNs: 0, DurationNs: 100},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("spec validation accepted an unknown fault kind")
+	}
+	if _, err := RunSpec(bad, faultDetOptions(0)); err == nil {
+		t.Fatal("RunSpec accepted an unknown fault kind")
+	}
+}

@@ -14,10 +14,12 @@ func addRDMADevice(h *host.Host, q Quadrant) (bw func() float64, pause func() fl
 	cfg.Audit = h.Auditor
 	if q.P2MWrites() {
 		nic := netsim.NewRDMAWrite(h.Eng, cfg, h.IIO)
+		h.Faults.AttachNIC(nic)
 		nic.Start(0)
 		return nic.BytesPerSec, func() float64 { return nic.PauseFrac.Frac() }, nic.ResetStats
 	}
 	nic := netsim.NewRDMARead(h.Eng, cfg, h.IIO)
+	h.Faults.AttachNIC(nic)
 	nic.Start(0)
 	return nic.BytesPerSec, func() float64 { return 0 }, nic.ResetStats
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/host"
 	"repro/internal/hostcc"
 	"repro/internal/sim"
@@ -45,6 +46,12 @@ type Spec struct {
 	WriteFracs []float64 `json:"write_fracs,omitempty"`
 	// Reserve is the per-channel WPQ reservation of mcisolation.
 	Reserve int `json:"reserve,omitempty"`
+	// Faults schedules transient degradation windows for experiments that
+	// honor them (quadrant, rdma, hostcc, faultsweep). Faults change
+	// results, so they are part of the spec — and thus of the cache key —
+	// unlike the execution-only knobs. Times are absolute simulated
+	// nanoseconds from engine start (warmup begins at 0).
+	Faults []fault.Window `json:"faults,omitempty"`
 }
 
 // Default simulated intervals (§2.2: 20 us warmup, 100 us window).
@@ -63,12 +70,14 @@ type specShape struct {
 	cores    bool // honors Cores
 	fracs    bool // honors WriteFracs
 	reserve  bool // honors Reserve
+	faults   bool // honors Faults
 
 	defQuadrant int
 	defCores    []int
+	defFaults   bool // empty Faults means the default demo schedule
 }
 
-var sweepShape = specShape{preset: true, ddio: true, quadrant: true, cores: true, defQuadrant: 1}
+var sweepShape = specShape{preset: true, ddio: true, quadrant: true, cores: true, faults: true, defQuadrant: 1}
 
 var specShapes = map[string]specShape{
 	// Full figures: every knob beyond interval/ddio is fixed by the figure.
@@ -89,9 +98,14 @@ var specShapes = map[string]specShape{
 	"quadrant":    sweepShape,
 	"rdma":        sweepShape,
 	"ratio":       {preset: true, ddio: true, cores: true, fracs: true, defCores: []int{5}},
-	"hostcc":      {preset: true, ddio: true, quadrant: true, cores: true, defQuadrant: 3, defCores: []int{5}},
+	"hostcc":      {preset: true, ddio: true, quadrant: true, cores: true, faults: true, defQuadrant: 3, defCores: []int{5}},
 	"mcisolation": {preset: true, ddio: true, cores: true, reserve: true, defCores: []int{5}},
 	"prefetch":    {preset: true, ddio: true, cores: true, defCores: []int{2}},
+	// faultsweep pairs a healthy and a faulted RDMA quadrant sweep (a
+	// Fig-3-style quadrant under degradation); an empty fault list gets the
+	// default storm/throttle/starvation demo schedule.
+	"faultsweep": {preset: true, ddio: true, quadrant: true, cores: true, faults: true,
+		defQuadrant: 3, defCores: []int{2, 4, 6}, defFaults: true},
 }
 
 // Experiments lists the valid Spec.Experiment names, sorted.
@@ -157,7 +171,28 @@ func (s Spec) Normalized() Spec {
 			n.Reserve = 16
 		}
 	}
+	if shape.faults {
+		n.Faults = fault.Schedule(s.Faults).Normalized()
+		if n.Faults == nil && shape.defFaults {
+			n.Faults = DefaultFaultSchedule(n.WarmupNs, n.WindowNs)
+		}
+	}
 	return n
+}
+
+// DefaultFaultSchedule is the faultsweep demo: a PFC pause storm, a DRAM
+// channel throttle, and an IIO credit starvation staggered across the
+// measurement window so each domain's degradation and recovery is visible.
+func DefaultFaultSchedule(warmupNs, windowNs int64) fault.Schedule {
+	q := windowNs / 4
+	if q <= 0 {
+		q = 1
+	}
+	return fault.Schedule{
+		{Kind: fault.PauseStorm, StartNs: warmupNs + q/2, DurationNs: q},
+		{Kind: fault.DRAMThrottle, StartNs: warmupNs + 2*q, DurationNs: q, Channel: 0},
+		{Kind: fault.IIOStarve, StartNs: warmupNs + 3*q, DurationNs: q},
+	}.Normalized()
 }
 
 // Validate checks a spec without normalizing it; RunSpec validates the
@@ -192,6 +227,11 @@ func (s Spec) Validate() error {
 	}
 	if s.Reserve < 0 {
 		return fmt.Errorf("reserve %d < 0", s.Reserve)
+	}
+	if shape.faults {
+		if err := fault.Schedule(s.Faults).Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -229,6 +269,7 @@ func (n Spec) options(opt Options) Options {
 	} else {
 		opt.Preset = host.CascadeLake
 	}
+	opt.Faults = fault.Schedule(n.Faults)
 	return opt
 }
 
@@ -311,6 +352,8 @@ func RunSpec(s Spec, opt Options) (v any, err error) {
 		return RunMCIsolationStudy(n.Cores[0], n.Reserve, opt), nil
 	case "prefetch":
 		return RunPrefetchStudy(n.Cores[0], opt), nil
+	case "faultsweep":
+		return RunFaultSweep(Quadrant(n.Quadrant), n.Cores, fault.Schedule(n.Faults), opt), nil
 	}
 	return nil, fmt.Errorf("experiment %q validated but not dispatchable", n.Experiment)
 }
@@ -350,6 +393,8 @@ func NewResultValue(experiment string) any {
 		return &MCIsolationStudy{}
 	case "prefetch":
 		return &PrefetchStudy{}
+	case "faultsweep":
+		return &FaultSweep{}
 	}
 	return nil
 }
@@ -409,6 +454,8 @@ func SpecTasks(s Spec) int {
 		return sweep(len(n.Cores))
 	case "ratio":
 		return sweep(len(n.WriteFracs))
+	case "faultsweep":
+		return 2 + 2*sweep(len(n.Cores))
 	}
 	return 0
 }

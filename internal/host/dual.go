@@ -8,6 +8,7 @@ import (
 	"repro/internal/cha"
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/iio"
 	"repro/internal/mem"
 	"repro/internal/numa"
@@ -41,6 +42,10 @@ type DualHost struct {
 	// Auditor is non-nil iff Cfg.Audit.Enabled; both sockets' components
 	// registered their invariants under "s0/"- and "s1/"-prefixed domains.
 	Auditor *audit.Auditor
+
+	// Faults is non-nil iff Cfg.Faults is non-empty; windows hit both
+	// sockets' MC/IIO and the UPI link.
+	Faults *fault.Injector
 
 	Cores       []*cpu.Core
 	coreSockets []int
@@ -78,6 +83,13 @@ func NewDual(cfg Config, upi numa.Config) *DualHost {
 		ioCfg.AuditDomain = fmt.Sprintf("s%d/iio", s)
 		h.Sockets[s].IIO = iio.New(eng, ioCfg, h.UPI.Port(s))
 	}
+	h.Faults = fault.NewInjector(eng, cfg.Faults)
+	for s := 0; s < 2; s++ {
+		h.Faults.AttachDRAM(h.Sockets[s].MC)
+		h.Faults.AttachIIO(h.Sockets[s].IIO)
+	}
+	h.Faults.AttachLink(h.UPI)
+	h.Faults.Start()
 	return h
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/cxl"
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/iio"
 	"repro/internal/mem"
 	"repro/internal/periph"
@@ -37,6 +38,11 @@ type Config struct {
 	// domain still compiles its registration call, but audit.New returns nil
 	// and the nil auditor makes each registration a no-op.
 	Audit audit.Config
+
+	// Faults schedules deterministic transient degradation windows through
+	// the event engine. Empty = healthy host: fault.NewInjector returns nil
+	// and the nil injector adds no events and no hot-path work.
+	Faults fault.Schedule
 }
 
 // CascadeLake returns the Table 1 Cascade Lake preset: Xeon Gold 6234,
@@ -98,6 +104,11 @@ type Host struct {
 	// invariants with it at construction.
 	Auditor *audit.Auditor
 
+	// Faults is non-nil iff Cfg.Faults is non-empty; window events were
+	// scheduled at construction and NICs built later (by the experiment
+	// layer) attach themselves before the engine runs.
+	Faults *fault.Injector
+
 	MC      *dram.Controller
 	CHA     *cha.CHA
 	IIO     *iio.IIO
@@ -126,7 +137,11 @@ func New(cfg Config) *Host {
 	ddio := cache.NewDDIO(cfg.DDIO)
 	ch := cha.New(eng, cfg.CHA, mc, ddio)
 	io := iio.New(eng, cfg.IIO, ch)
-	return &Host{Eng: eng, Cfg: cfg, Auditor: aud, MC: mc, CHA: ch, IIO: io, DDIO: ddio, ingress: ch}
+	inj := fault.NewInjector(eng, cfg.Faults)
+	inj.AttachDRAM(mc)
+	inj.AttachIIO(io)
+	inj.Start()
+	return &Host{Eng: eng, Cfg: cfg, Auditor: aud, Faults: inj, MC: mc, CHA: ch, IIO: io, DDIO: ddio, ingress: ch}
 }
 
 // cxlHomeBit splits the address space: regions at or above 1<<cxlHomeBit are
@@ -157,6 +172,8 @@ func NewWithCXL(cfg Config, cxlCfg cxl.Config) *Host {
 	cxlCfg.Audit = h.Auditor
 	h.CXL = cxl.New(h.Eng, cxlCfg)
 	h.ingress = cxlMux{cha: h.CHA, exp: h.CXL}
+	h.Faults.AttachLink(h.CXL)
+	h.Faults.AttachDRAM(h.CXL.MC())
 	return h
 }
 

@@ -92,10 +92,18 @@ type IIO struct {
 	cha mem.Submitter
 
 	wrFree, rdFree     int
-	upFreeAt, dnFreeAt sim.Time
+	// holdWant/holdHeld implement fault-injected credit starvation: held
+	// credits are acquired through the pool exactly like real traffic (so
+	// the occupancy gauges and conservation invariants keep holding) but
+	// are never replenished until the fault clears. When held < want,
+	// returning credits are re-grabbed before waiters see them.
+	holdWantWr, holdHeldWr int
+	holdWantRd, holdHeldRd int
+	upFreeAt, dnFreeAt     sim.Time
 	rdPaceAt           sim.Time
 	wrWaiters          []func()
 	rdWaiters          []func()
+	wrSpare, rdSpare   []func()
 	wrRot, rdRot       int
 	wrLinkWaker        *sim.Waker
 	rdPaceWaker        *sim.Waker
@@ -137,10 +145,17 @@ func creditReturnEvent(arg any) {
 	i.stats.WriteOcc.Add(-1)
 	i.stats.WriteLat.Exit()
 	i.stats.LinesIn.Inc()
+	if i.holdHeldWr < i.holdWantWr {
+		// An active starvation fault wants this credit: grab it before any
+		// waiter can, keeping the pool pinned at the faulted size.
+		i.wrFree--
+		i.holdHeldWr++
+		i.stats.WriteOcc.Add(1)
+	}
 	if done != nil {
 		done()
 	}
-	fire(&i.wrWaiters, &i.wrRot)
+	fire(&i.wrWaiters, &i.wrSpare, &i.wrRot)
 }
 
 // readDeliveredEvent frees a read credit once the data has serialized over
@@ -154,10 +169,15 @@ func readDeliveredEvent(arg any) {
 	i.stats.ReadOcc.Add(-1)
 	i.stats.ReadLat.Exit()
 	i.stats.LinesOut.Inc()
+	if i.holdHeldRd < i.holdWantRd {
+		i.rdFree--
+		i.holdHeldRd++
+		i.stats.ReadOcc.Add(1)
+	}
 	if done != nil {
 		done()
 	}
-	fire(&i.rdWaiters, &i.rdRot)
+	fire(&i.rdWaiters, &i.rdSpare, &i.rdRot)
 }
 
 func (i *IIO) submitEvent(arg any) { i.cha.Submit(arg.(*mem.Request)) }
@@ -182,8 +202,8 @@ func New(eng *sim.Engine, cfg Config, c mem.Submitter) *IIO {
 			LinesOut: telemetry.NewCounter(eng),
 		},
 	}
-	i.wrLinkWaker = sim.NewWaker(eng, func() { fire(&i.wrWaiters, &i.wrRot) })
-	i.rdPaceWaker = sim.NewWaker(eng, func() { fire(&i.rdWaiters, &i.rdRot) })
+	i.wrLinkWaker = sim.NewWaker(eng, func() { fire(&i.wrWaiters, &i.wrSpare, &i.wrRot) })
+	i.rdPaceWaker = sim.NewWaker(eng, func() { fire(&i.rdWaiters, &i.rdSpare, &i.rdRot) })
 	i.submitFn = i.submitEvent
 	if aud := cfg.Audit; aud.Enabled() {
 		domain := cfg.AuditDomain
@@ -209,6 +229,61 @@ func (i *IIO) InjectDoubleRelease() { i.wrFree++ }
 // Stats returns the IIO probes.
 func (i *IIO) Stats() *Stats { return i.stats }
 
+// WriteCreditCapacity reports the configured write-credit pool size.
+func (i *IIO) WriteCreditCapacity() int { return i.cfg.WriteCredits }
+
+// ReadCreditCapacity reports the configured read-credit pool size.
+func (i *IIO) ReadCreditCapacity() int { return i.cfg.ReadCredits }
+
+// FaultHoldCredits pins up to nWrite write and nRead read credits as held by
+// an injected starvation fault. Held credits are taken from the free pool
+// (immediately for whatever is free, and as traffic replenishes for the
+// rest) and count as occupied, so every registered invariant keeps holding
+// mid-fault. (0, 0) releases all held credits back to the pool and wakes
+// waiters. Targets are clamped to leave at least one credit usable, since a
+// fully-confiscated pool would deadlock the domain rather than degrade it.
+func (i *IIO) FaultHoldCredits(nWrite, nRead int) {
+	clamp := func(n, cap int) int {
+		if n < 0 {
+			n = 0
+		}
+		if n >= cap {
+			n = cap - 1
+		}
+		return n
+	}
+	i.holdWantWr = clamp(nWrite, i.cfg.WriteCredits)
+	i.holdWantRd = clamp(nRead, i.cfg.ReadCredits)
+	// Release excess holds.
+	if d := i.holdHeldWr - i.holdWantWr; d > 0 {
+		i.holdHeldWr -= d
+		i.wrFree += d
+		i.stats.WriteOcc.Add(-d)
+		fire(&i.wrWaiters, &i.wrSpare, &i.wrRot)
+	}
+	if d := i.holdHeldRd - i.holdWantRd; d > 0 {
+		i.holdHeldRd -= d
+		i.rdFree += d
+		i.stats.ReadOcc.Add(-d)
+		fire(&i.rdWaiters, &i.rdSpare, &i.rdRot)
+	}
+	// Grab whatever is free right now; the rest is captured as credits
+	// return in creditReturnEvent/readDeliveredEvent.
+	for i.holdHeldWr < i.holdWantWr && i.wrFree > 0 {
+		i.wrFree--
+		i.holdHeldWr++
+		i.stats.WriteOcc.Add(1)
+	}
+	for i.holdHeldRd < i.holdWantRd && i.rdFree > 0 {
+		i.rdFree--
+		i.holdHeldRd++
+		i.stats.ReadOcc.Add(1)
+	}
+}
+
+// FaultCreditsHeld reports credits currently pinned by a starvation fault.
+func (i *IIO) FaultCreditsHeld() (write, read int) { return i.holdHeldWr, i.holdHeldRd }
+
 // WriteCreditsFree reports currently available write credits.
 func (i *IIO) WriteCreditsFree() int { return i.wrFree }
 
@@ -224,17 +299,24 @@ func (i *IIO) NotifyRead(fn func()) { i.rdWaiters = append(i.rdWaiters, fn) }
 // fire drains the waiter list, rotating the start index across calls so
 // that a waiter that re-registers immediately (a saturating device pump)
 // cannot starve its peers of credits or link slots.
-func fire(waiters *[]func(), rot *int) {
+// Callbacks that re-register during the drain append to the spare buffer;
+// the two arrays swap roles each call so steady-state registration never
+// allocates.
+func fire(waiters, spare *[]func(), rot *int) {
 	if len(*waiters) == 0 {
 		return
 	}
 	ws := *waiters
-	*waiters = nil
+	*waiters = (*spare)[:0]
+	*spare = nil
 	*rot++
 	start := *rot % len(ws)
 	for k := 0; k < len(ws); k++ {
-		ws[(start+k)%len(ws)]()
+		idx := (start + k) % len(ws)
+		ws[idx]()
+		ws[idx] = nil
 	}
+	*spare = ws[:0]
 }
 
 // TryWrite starts a one-line DMA write (device -> memory). It returns false

@@ -82,6 +82,7 @@ type DCTCPReceiver struct {
 	nicBusy  bool
 	dmaQueue []*dctcpPacket
 	waiting  bool
+	wake     func() // bound credit-wait callback, created once
 	nextLine int64
 
 	// AppBytes counts bytes delivered to application buffers (the iperf
@@ -147,6 +148,7 @@ func NewDCTCPReceiver(eng *sim.Engine, cfg DCTCPConfig, io *iio.IIO) *DCTCPRecei
 		Sent:     telemetry.NewCounter(eng),
 		QueueOcc: telemetry.NewIntegrator(eng),
 	}
+	r.wake = func() { r.waiting = false; r.dmaPump() }
 	for i := 0; i < cfg.Flows; i++ {
 		f := &dctcpFlow{rx: r, id: i, cwnd: float64(cfg.InitCwnd)}
 		f.copier = &copyGen{flow: f, appBase: cfg.BufBase + mem.Addr(i)<<28}
@@ -260,7 +262,7 @@ func (r *DCTCPReceiver) dmaPump() {
 			if !ok {
 				if !r.waiting {
 					r.waiting = true
-					r.io.NotifyWrite(func() { r.waiting = false; r.dmaPump() })
+					r.io.NotifyWrite(r.wake)
 				}
 				return
 			}

@@ -62,8 +62,11 @@ type RDMAWrite struct {
 	queue    int  // lines buffered in the NIC
 	paused   bool // sender currently paused (after propagation)
 	xoff     bool // pause asserted at the NIC
+	linkDown bool // fault: wire link down, arrivals suppressed
+	storm    bool // fault: downstream congestion forces XOFF regardless of queue
 	nextLine int64
 	waiting  bool
+	wake     func()        // bound credit-wait callback, created once
 	arriveFn sim.EventFunc // bound arrival handler: one event per wire line
 
 	// Delivered counts lines whose DMA completed (the app-visible
@@ -94,6 +97,7 @@ func NewRDMAWrite(eng *sim.Engine, cfg RDMAWriteConfig, io *iio.IIO) *RDMAWrite 
 		QueueOcc:  telemetry.NewIntegrator(eng),
 	}
 	w.arriveFn = w.arriveEvent
+	w.wake = func() { w.waiting = false; w.pump() }
 	if aud := cfg.Audit; aud.Enabled() {
 		aud.Gauge("rdma", "queue_occ", w.QueueOcc, func() int { return w.queue })
 		aud.Bounds("rdma", "queue", 0, int64(cfg.QueueCapLines), func() int64 { return int64(w.queue) })
@@ -102,6 +106,14 @@ func NewRDMAWrite(eng *sim.Engine, cfg RDMAWriteConfig, io *iio.IIO) *RDMAWrite 
 			// XOFF implies the queue has not drained to XON and vice versa.
 			if w.xoff != w.PauseFrac.On() {
 				return false, fmt.Sprintf("xoff=%v but PauseFrac.On()=%v", w.xoff, w.PauseFrac.On())
+			}
+			if w.storm {
+				// A pause-storm fault pins XOFF regardless of occupancy; the
+				// queue-threshold hysteresis clauses do not apply mid-storm.
+				if !w.xoff {
+					return false, "pause storm active but XOFF clear"
+				}
+				return true, ""
 			}
 			if w.xoff && w.queue <= cfg.PauseLo {
 				return false, fmt.Sprintf("XOFF asserted with queue %d <= PauseLo %d", w.queue, cfg.PauseLo)
@@ -128,9 +140,12 @@ func (r *RDMAWrite) Start(t sim.Time) {
 
 func (r *RDMAWrite) arriveEvent(any) { r.arrive() }
 
-// arrive models one cacheline landing from the wire.
+// arrive models one cacheline landing from the wire. A downed link behaves
+// like a paused sender: no line lands (and none is dropped — the physical
+// layer stops, it does not overrun), but buffered lines keep draining and
+// the arrival clock keeps ticking so the stream resumes when the link does.
 func (r *RDMAWrite) arrive() {
-	if !r.paused {
+	if !r.paused && !r.linkDown {
 		if r.queue < r.cfg.QueueCapLines {
 			r.queue++
 			r.QueueOcc.Add(1)
@@ -146,21 +161,40 @@ func (r *RDMAWrite) arrive() {
 	r.eng.AfterFunc(r.cfg.LinePeriod, r.arriveFn, nil)
 }
 
+// FaultSetLinkDown suspends (or resumes) wire arrivals.
+func (r *RDMAWrite) FaultSetLinkDown(down bool) { r.linkDown = down }
+
+// FaultSetPauseStorm forces PFC XOFF while on, modeling sustained pause
+// frames from a congested downstream switch; clearing re-evaluates the
+// normal occupancy hysteresis.
+func (r *RDMAWrite) FaultSetPauseStorm(on bool) {
+	r.storm = on
+	r.updatePFC()
+}
+
 // pfcApplyEvent lands a pause/resume at the sender after propagation.
 func pfcApplyEvent(arg any) {
 	r := arg.(*RDMAWrite)
 	r.paused = r.xoff
 }
 
-// updatePFC asserts/deasserts pause with propagation delay.
+// updatePFC asserts/deasserts pause with propagation delay. A pause-storm
+// fault overrides the occupancy hysteresis and pins XOFF; when the storm
+// clears, the normal thresholds decide (so a queue still above PauseLo
+// keeps the pause until it drains, exactly as a real XOFF would).
 func (r *RDMAWrite) updatePFC() {
+	want := r.xoff
 	if !r.xoff && r.queue >= r.cfg.PauseHi {
-		r.xoff = true
-		r.PauseFrac.Set(true)
-		r.eng.AfterFunc(r.cfg.PauseDelay, pfcApplyEvent, r)
+		want = true
 	} else if r.xoff && r.queue <= r.cfg.PauseLo {
-		r.xoff = false
-		r.PauseFrac.Set(false)
+		want = false
+	}
+	if r.storm {
+		want = true
+	}
+	if want != r.xoff {
+		r.xoff = want
+		r.PauseFrac.Set(want)
 		r.eng.AfterFunc(r.cfg.PauseDelay, pfcApplyEvent, r)
 	}
 }
@@ -172,7 +206,7 @@ func (r *RDMAWrite) pump() {
 		if !r.io.TryWrite(addr, 0, func() { r.Delivered.Inc() }) {
 			if !r.waiting {
 				r.waiting = true
-				r.io.NotifyWrite(func() { r.waiting = false; r.pump() })
+				r.io.NotifyWrite(r.wake)
 			}
 			return
 		}
@@ -205,6 +239,8 @@ type RDMARead struct {
 	nextLine int64
 	paceAt   sim.Time
 	waiting  bool
+	linkDown bool   // fault: wire link down, no read requests arrive
+	wake     func() // bound credit-wait callback, created once
 	pumpFn   sim.EventFunc // bound pump handler: one event per paced line
 
 	Delivered *telemetry.Counter
@@ -214,6 +250,7 @@ type RDMARead struct {
 func NewRDMARead(eng *sim.Engine, cfg RDMAWriteConfig, io *iio.IIO) *RDMARead {
 	rd := &RDMARead{eng: eng, cfg: cfg, io: io, Delivered: telemetry.NewCounter(eng)}
 	rd.pumpFn = rd.pumpEvent
+	rd.wake = func() { rd.waiting = false; rd.pump() }
 	return rd
 }
 
@@ -222,7 +259,24 @@ func (r *RDMARead) Start(t sim.Time) { r.eng.AtFunc(t, r.pumpFn, nil) }
 
 func (r *RDMARead) pumpEvent(any) { r.pump() }
 
+// FaultSetLinkDown suspends read requests while down; resuming restarts the
+// pump (the pace clock does not advance during the outage, so the stream
+// picks back up at the wire rate immediately).
+func (r *RDMARead) FaultSetLinkDown(down bool) {
+	r.linkDown = down
+	if !down {
+		r.pump()
+	}
+}
+
+// FaultSetPauseStorm is a no-op: the read responder has no PFC state (the
+// remote reader simply sees stalled completions).
+func (r *RDMARead) FaultSetPauseStorm(bool) {}
+
 func (r *RDMARead) pump() {
+	if r.linkDown {
+		return
+	}
 	for {
 		now := r.eng.Now()
 		if r.paceAt > now {
@@ -233,7 +287,7 @@ func (r *RDMARead) pump() {
 		if !r.io.TryRead(addr, 0, func() { r.Delivered.Inc() }) {
 			if !r.waiting {
 				r.waiting = true
-				r.io.NotifyRead(func() { r.waiting = false; r.pump() })
+				r.io.NotifyRead(r.wake)
 			}
 			return
 		}

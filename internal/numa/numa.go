@@ -69,7 +69,10 @@ type Router struct {
 	homeOf func(mem.Addr) int
 
 	freeAt [2]sim.Time // per-direction link serialization
-	stats  *Stats
+	// linePeriod is the live per-line serialization time: cfg.LinePeriod
+	// normally, stretched while a lane-degradation fault is active.
+	linePeriod sim.Time
+	stats      *Stats
 
 	// Per-direction bound handlers, created once so link-idle checks and
 	// home-socket submissions schedule without allocating closures.
@@ -81,10 +84,11 @@ type Router struct {
 // home socket (0 or 1).
 func New(eng *sim.Engine, cfg Config, cha0, cha1 mem.Submitter, homeOf func(mem.Addr) int) *Router {
 	r := &Router{
-		eng:    eng,
-		cfg:    cfg,
-		chas:   [2]mem.Submitter{cha0, cha1},
-		homeOf: homeOf,
+		eng:        eng,
+		cfg:        cfg,
+		linePeriod: cfg.LinePeriod,
+		chas:       [2]mem.Submitter{cha0, cha1},
+		homeOf:     homeOf,
 		stats: &Stats{
 			RemoteReads:  telemetry.NewCounter(eng),
 			RemoteWrites: telemetry.NewCounter(eng),
@@ -187,8 +191,20 @@ func (r *Router) serialize(dir int) sim.Time {
 	if start < now {
 		start = now
 	}
-	r.freeAt[dir] = start + r.cfg.LinePeriod
+	r.freeAt[dir] = start + r.linePeriod
 	r.stats.LinkBusy[dir].Set(true)
 	r.eng.AtFunc(r.freeAt[dir], r.idleFn[dir], nil)
 	return r.freeAt[dir] - now
+}
+
+// FaultSetLineMult multiplies per-line UPI serialization time by mult
+// (lanes dropping to a degraded width/speed); mult <= 1 restores the
+// configured rate. Reservations already made keep their slots, so the
+// link-busy invariant is unaffected.
+func (r *Router) FaultSetLineMult(mult float64) {
+	if mult <= 1 {
+		r.linePeriod = r.cfg.LinePeriod
+		return
+	}
+	r.linePeriod = sim.Time(float64(r.cfg.LinePeriod)*mult + 0.5)
 }

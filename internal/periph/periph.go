@@ -84,8 +84,9 @@ func (s *Stats) IOPS() float64 { return s.Requests.RatePerSecond() }
 func (s *Stats) BytesPerSec() float64 { return s.Lines.BytesPerSecond() }
 
 type request struct {
-	toIssue    int // lines not yet accepted by the IIO
-	toComplete int // lines whose credits have not yet returned
+	toIssue    int    // lines not yet accepted by the IIO
+	toComplete int    // lines whose credits have not yet returned
+	done       func() // bound lineDone(self), created once per pooled request
 }
 
 // Storage is one device workload instance.
@@ -97,8 +98,10 @@ type Storage struct {
 
 	nextLine int64
 	active   []*request
-	arming   int // requests waiting out DeviceDelay
+	free     []*request // retired requests, recycled with their done closures
+	arming   int        // requests waiting out DeviceDelay
 	waiting  bool
+	wake     func() // bound credit-wait callback, created once
 	stats    *Stats
 }
 
@@ -117,6 +120,7 @@ func New(eng *sim.Engine, cfg Config, io *iio.IIO, origin int) *Storage {
 			Lines:    telemetry.NewCounter(eng),
 		},
 	}
+	s.wake = func() { s.waiting = false; s.pump() }
 	if aud := cfg.Audit; aud.Enabled() {
 		domain := fmt.Sprintf("periph/dev%d", origin)
 		started := false
@@ -154,7 +158,16 @@ func armedEvent(arg any) {
 	s := arg.(*Storage)
 	s.arming--
 	lines := s.cfg.RequestBytes / mem.LineSize
-	s.active = append(s.active, &request{toIssue: lines, toComplete: lines})
+	var req *request
+	if n := len(s.free); n > 0 {
+		req = s.free[n-1]
+		s.free = s.free[:n-1]
+		req.toIssue, req.toComplete = lines, lines
+	} else {
+		req = &request{toIssue: lines, toComplete: lines}
+		req.done = func() { s.lineDone(req) }
+	}
+	s.active = append(s.active, req)
 	s.pump()
 }
 
@@ -184,22 +197,19 @@ func (s *Storage) pump() {
 			}
 		}
 		addr := s.cfg.BufBase + mem.Addr((s.nextLine*mem.LineSize)%s.cfg.BufBytes)
-		r := req
-		done := func() { s.lineDone(r) }
 		var ok bool
 		if s.cfg.Dir == DMAWrite {
-			ok = s.io.TryWrite(addr, s.origin, done)
+			ok = s.io.TryWrite(addr, s.origin, req.done)
 		} else {
-			ok = s.io.TryRead(addr, s.origin, done)
+			ok = s.io.TryRead(addr, s.origin, req.done)
 		}
 		if !ok {
 			if !s.waiting {
 				s.waiting = true
-				wake := func() { s.waiting = false; s.pump() }
 				if s.cfg.Dir == DMAWrite {
-					s.io.NotifyWrite(wake)
+					s.io.NotifyWrite(s.wake)
 				} else {
-					s.io.NotifyRead(wake)
+					s.io.NotifyRead(s.wake)
 				}
 			}
 			return
@@ -221,6 +231,7 @@ func (s *Storage) lineDone(req *request) {
 				break
 			}
 		}
+		s.free = append(s.free, req)
 		s.armRequest()
 	}
 	s.pump()

@@ -315,7 +315,9 @@ func (m *manager) Submit(spec exp.Spec, canonical []byte) (*Job, Outcome, error)
 		m.met.cacheMisses.Add(1)
 		return j, OutcomeAccepted, nil
 	default:
-		m.met.rejected.Add(1)
+		// The HTTP layer counts the rejection if it actually sheds load:
+		// it retries the admission once first, and a retry that lands is
+		// not a shed.
 		return nil, OutcomeAccepted, ErrQueueFull
 	}
 }
@@ -351,7 +353,17 @@ func (m *manager) run(j *Job) {
 	ctx, cancel := context.WithTimeout(m.baseCtx, m.cfg.JobTimeout)
 	defer cancel()
 	if !j.markRunning(cancel) {
-		return // canceled while queued
+		// Canceled while queued: the job is already terminal, but it still
+		// occupies a slot in m.jobs. File it in the LRU so the record is
+		// accounted for and eventually evicted instead of leaking forever.
+		// Skip if a resubmission already replaced the record (the stale
+		// object must not shadow the live one in the LRU).
+		m.mu.Lock()
+		if m.jobs[j.ID] == j {
+			m.insertLocked(j, StateCanceled, nil)
+		}
+		m.mu.Unlock()
+		return
 	}
 	if h := m.beforeRun; h != nil {
 		h(ctx, j)
@@ -404,11 +416,21 @@ func (m *manager) run(j *Job) {
 
 // insertLocked files a terminal job in the LRU and evicts over-budget
 // entries (never the entry being inserted: a single oversized result is
-// served once rather than thrashing).
+// served once rather than thrashing). Re-inserting a job that is already
+// filed replaces its accounted cost instead of double-counting it, so
+// CacheStats bytes stay equal to the sum of the entries actually held;
+// zero-byte results still cost jobOverheadBytes.
 func (m *manager) insertLocked(j *Job, st State, result []byte) {
-	j.cost = int64(len(result)) + jobOverheadBytes
-	j.lruElem = m.lru.PushFront(j)
-	m.lruBytes += j.cost
+	cost := int64(len(result)) + jobOverheadBytes
+	if j.lruElem != nil {
+		m.lruBytes += cost - j.cost
+		j.cost = cost
+		m.lru.MoveToFront(j.lruElem)
+	} else {
+		j.cost = cost
+		j.lruElem = m.lru.PushFront(j)
+		m.lruBytes += j.cost
+	}
 	for m.lruBytes > m.cfg.CacheBytes && m.lru.Len() > 1 {
 		ev := m.lru.Back().Value.(*Job)
 		if ev == j {

@@ -82,6 +82,10 @@ type Server struct {
 	mgr   *manager
 	mux   *http.ServeMux
 	start time.Time
+
+	// retryHook, when set (tests only), runs between a full-queue rejection
+	// and the one retry handleSubmit makes before writing 429.
+	retryHook func()
 }
 
 // New builds a server and starts its worker pool.
@@ -205,8 +209,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, outcome, err := s.mgr.Submit(spec, canonical)
+	if errors.Is(err, ErrQueueFull) {
+		// The queue may have drained between the failed reservation and
+		// this response: a worker dequeues the moment a slot frees, so the
+		// rejection can be stale by the time it would be written. Retry the
+		// admission once before shedding load — a 429 must mean the queue
+		// was full twice, not that the client lost a benign race.
+		if h := s.retryHook; h != nil {
+			h()
+		}
+		j, outcome, err = s.mgr.Submit(spec, canonical)
+	}
 	switch {
 	case errors.Is(err, ErrQueueFull):
+		s.met.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "%v (capacity %d)", err, s.cfg.QueueDepth)
 		return
