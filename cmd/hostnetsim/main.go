@@ -7,13 +7,15 @@
 //
 // Experiments: table1, fig1, fig2, fig3, fig6, fig7, fig8, fig11, fig12,
 // fig13, fig14, fig15, fig16, fig17, fig18, fig19, fig23, fig27, fig29,
-// domains, all.
+// domains, incast, all.
 //
 // Flags (accepted before or after the experiment names):
 //
 //	-window   measurement window (default 100us; larger = smoother numbers)
 //	-warmup   warmup before measuring (default 20us)
 //	-ddio     enable DDIO for the quadrant experiments
+//	-hosts    rack size for the incast experiment: N hosts on one ToR,
+//	          N-1 senders converging on host 0 (default 4)
 //	-parallel worker-pool size for multi-point sweeps (0 = one per CPU,
 //	          1 = serial); results are bit-identical at any setting
 //	-format   "table" (default, rendered) or "json": the canonical JSON
@@ -70,6 +72,7 @@ func realMain() int {
 	format := flag.String("format", "table", "output format: table (rendered) or json (canonical machine-readable)")
 	showVersion := flag.Bool("version", false, "print build version and exit")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	hosts := flag.Int("hosts", 0, "rack size for the incast experiment (default 4)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write allocation profile to `file` at exit")
 	traceOut := flag.String("trace", "", "write runtime execution trace to `file`")
@@ -140,13 +143,14 @@ func realMain() int {
 		return 2
 	}
 	opt.Faults = faults
+	fabricHosts = *hosts
 
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: hostnetsim [flags] <experiment>...")
 		fmt.Fprintln(os.Stderr, "experiments: table1 fig1 fig2 fig3 fig6 fig7 fig8 fig11 fig12 fig13 fig14")
 		fmt.Fprintln(os.Stderr, "             fig15 fig16 fig17 fig18 fig19 fig23 fig27 fig29 domains")
-		fmt.Fprintln(os.Stderr, "             prefetch hostcc mcisolation ratio cxl faultsweep all")
+		fmt.Fprintln(os.Stderr, "             prefetch hostcc mcisolation ratio cxl faultsweep incast all")
 		return 2
 	}
 	if *format == "json" {
@@ -163,6 +167,10 @@ func realMain() int {
 
 var emitCSV bool
 
+// fabricHosts carries the -hosts flag to the incast experiment (0 = the
+// spec's default rack of 4).
+var fabricHosts int
+
 // runJSON emits the canonical JSON Result envelope for each named
 // experiment, one NDJSON line per name — byte-identical to hostnetd's
 // result endpoint for the same spec (both route through exp.RunSpecJSON).
@@ -177,6 +185,9 @@ func runJSON(opt hostnet.Options, window, warmup time.Duration, ddio bool, names
 			WarmupNs:   warmup.Nanoseconds(),
 			DDIO:       ddio,
 			Faults:     opt.Faults,
+		}
+		if name == "incast" && fabricHosts > 0 {
+			spec.Fabric = &hostnet.FabricSpec{Hosts: fabricHosts}
 		}
 		b, err := exp.RunSpecJSON(spec, opt)
 		if err != nil {
@@ -299,6 +310,21 @@ func run(opt hostnet.Options, names ...string) int {
 			fmt.Fprintf(w, "MC isolation via WPQ reservation (red regime, Q3 with 5 cores, reserve=16):\n")
 			fmt.Fprintf(w, "  P2M degradation: %.2fx -> %.2fx\n", s.P2MDegrOff(), s.P2MDegrOn())
 			fmt.Fprintf(w, "  C2M degradation: %.2fx -> %.2fx\n\n", s.C2MDegrOff(), s.C2MDegrOn())
+		case "incast":
+			fs := hostnet.FabricSpec{Hosts: fabricHosts}
+			if err := fs.Validate(); err != nil {
+				fmt.Fprintln(os.Stderr, "-hosts:", err)
+				return 2
+			}
+			s := hostnet.RunIncast(fs, 4, opt.Faults, opt)
+			if emitCSV {
+				if err := exp.IncastCSV(s).WriteCSV(w); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 1
+				}
+			} else {
+				hostnet.RenderIncast(w, s)
+			}
 		case "faultsweep":
 			sched := opt.Faults
 			if len(sched) == 0 {

@@ -28,6 +28,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/cxl"
 	"repro/internal/exp"
+	"repro/internal/fabric"
 	"repro/internal/fault"
 	"repro/internal/host"
 	"repro/internal/hostcc"
@@ -103,6 +104,31 @@ type (
 	// FaultInjector schedules a FaultSchedule's windows through a host's
 	// engine; reach it via Host.Faults / DualHost.Faults.
 	FaultInjector = fault.Injector
+	// Fabric is a rack: N hosts and their NICs connected through a ToR
+	// switch, all on one shared event engine (so fabric runs keep the
+	// single-host determinism guarantees).
+	Fabric = fabric.Fabric
+	// FabricConfig describes a rack (hosts, per-host config, NIC, ToR).
+	FabricConfig = fabric.Config
+	// FabricNICConfig models a host's fabric attachment (line rate, RX
+	// buffer, PFC thresholds).
+	FabricNICConfig = fabric.NICConfig
+	// SwitchConfig models the ToR (port speed, queue caps, forwarding
+	// latency, PFC thresholds).
+	SwitchConfig = fabric.SwitchConfig
+	// NodeID addresses a host Al-Fares style (10.pod.edge.host), leaving
+	// room for a fat-tree above the single ToR.
+	NodeID = fabric.NodeID
+	// FabricSpec is the JobSpec's fabric section: rack shape and traffic
+	// pattern, normalized so fabric scenarios stay content-addressable.
+	FabricSpec = exp.FabricSpec
+	// FlowSpec is one entry of a FabricSpec flow matrix.
+	FlowSpec = exp.FlowSpec
+	// IncastPoint is one rack-scale incast measurement.
+	IncastPoint = exp.IncastPoint
+	// IncastSweep is the incast experiment result (healthy points plus
+	// faulted twins when a schedule is given).
+	IncastSweep = exp.IncastSweep
 )
 
 // Fault kinds.
@@ -295,6 +321,7 @@ var (
 	RunQuadrant         = exp.RunQuadrant
 	RunRDMAQuadrant     = exp.RunRDMAQuadrant
 	RunFaultSweep       = exp.RunFaultSweep
+	RunIncast           = exp.RunIncast
 	RunDCTCP            = exp.RunDCTCP
 	RunPrefetchStudy    = exp.RunPrefetchStudy
 	RunHostCCStudy      = exp.RunHostCCStudy
@@ -325,3 +352,11 @@ func RenderFormula(w io.Writer, res map[Quadrant][]exp.FormulaPoint) {
 }
 func RenderRDMA(w io.Writer, res map[Quadrant][]exp.RDMAQuadrantPoint) { exp.RenderRDMA(w, res) }
 func RenderDCTCP(w io.Writer, read, rw []exp.DCTCPPoint)               { exp.RenderDCTCP(w, read, rw) }
+func RenderIncast(w io.Writer, s *IncastSweep)                         { exp.RenderIncast(w, s) }
+
+// NewFabric assembles a rack of hosts behind a ToR switch on one engine.
+func NewFabric(cfg FabricConfig) *Fabric { return fabric.New(cfg) }
+
+// DefaultFabricConfig returns a Cascade Lake rack of `hosts` hosts on a
+// 100 Gbps ToR.
+func DefaultFabricConfig(hosts int) FabricConfig { return fabric.DefaultConfig(hosts) }

@@ -1,0 +1,216 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// --- Spec integration: normalization, hashing, validation ---------------
+
+func TestIncastSpecNormalizeDefaults(t *testing.T) {
+	n := Spec{Experiment: "incast"}.Normalized()
+	if n.Fabric == nil {
+		t.Fatal("normalized incast spec has no fabric section")
+	}
+	if n.Fabric.Hosts != 4 || n.Fabric.Incast != 3 {
+		t.Errorf("fabric defaults = %+v, want hosts=4 incast=3", *n.Fabric)
+	}
+	if len(n.Cores) != 1 || n.Cores[0] != 4 {
+		t.Errorf("cores default = %v, want [4]", n.Cores)
+	}
+}
+
+// Equivalent fabric specs must hash equal — that is what keeps fabric
+// scenarios content-addressable in hostnetd's result cache.
+func TestIncastSpecHashInvariance(t *testing.T) {
+	hash := func(s Spec) string {
+		h, err := s.Normalized().Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	base := hash(Spec{Experiment: "incast"})
+	if got := hash(Spec{Experiment: "incast", Fabric: &FabricSpec{Hosts: 4}}); got != base {
+		t.Error("explicit default host count changed the hash")
+	}
+	if got := hash(Spec{Experiment: "incast", Fabric: &FabricSpec{Incast: 3}}); got != base {
+		t.Error("explicit default incast degree changed the hash")
+	}
+
+	flows := []FlowSpec{{Src: 2, Dst: 0}, {Src: 1, Dst: 0, Rate: 0.5}}
+	reversed := []FlowSpec{{Src: 1, Dst: 0, Rate: 0.5}, {Src: 2, Dst: 0, Rate: 1}}
+	a := hash(Spec{Experiment: "incast", Fabric: &FabricSpec{Flows: flows}})
+	b := hash(Spec{Experiment: "incast", Fabric: &FabricSpec{Flows: reversed}})
+	if a != b {
+		t.Error("flow order (and explicit default rate) changed the hash")
+	}
+	// Incast is ignored — and must be cleared — when a flow matrix is given.
+	c := hash(Spec{Experiment: "incast", Fabric: &FabricSpec{Incast: 2, Flows: flows}})
+	if a != c {
+		t.Error("ignored incast knob leaked into the flow-matrix hash")
+	}
+	if a == base {
+		t.Error("flow matrix and incast pattern hash identically")
+	}
+}
+
+func TestIncastSpecValidation(t *testing.T) {
+	bad := []FabricSpec{
+		{Hosts: 1},
+		{Hosts: MaxFabricHosts + 1},
+		{Incast: -1},
+		{FaultHost: 4},
+		{Flows: []FlowSpec{{Src: 0, Dst: 0}}},
+		{Flows: []FlowSpec{{Src: 0, Dst: 9}}},
+		{Flows: []FlowSpec{{Src: 0, Dst: 1, Rate: 1.5}}},
+	}
+	for _, fs := range bad {
+		fs := fs
+		if err := (Spec{Experiment: "incast", Fabric: &fs}).Validate(); err == nil {
+			t.Errorf("Validate accepted bad fabric %+v", fs)
+		}
+	}
+	if err := (Spec{Experiment: "incast"}).Validate(); err != nil {
+		t.Errorf("Validate rejected the default incast spec: %v", err)
+	}
+}
+
+func TestSpecTasksIncast(t *testing.T) {
+	if got := SpecTasks(Spec{Experiment: "incast", Fabric: &FabricSpec{Hosts: 3}}); got != 2 {
+		t.Errorf("SpecTasks(healthy, hosts=3) = %d, want 2", got)
+	}
+	withFaults := Spec{Experiment: "incast", Fabric: &FabricSpec{Hosts: 3},
+		Faults: []fault.Window{{Kind: fault.PauseStorm, StartNs: 1000, DurationNs: 1000}}}
+	if got := SpecTasks(withFaults); got != 6 {
+		t.Errorf("SpecTasks(faulted, hosts=3) = %d, want 6", got)
+	}
+}
+
+// --- Determinism (the fabric inherits the sweep guarantees) -------------
+
+func incastDetSpec() Spec {
+	return Spec{Experiment: "incast", WarmupNs: 2_000, WindowNs: 6_000,
+		Fabric: &FabricSpec{Hosts: 4, Incast: 2}}
+}
+
+// The canonical JSON envelope of a fabric run must be byte-identical serial
+// vs parallel — the same guarantee every single-host sweep carries.
+func TestIncastRunSpecJSONSerialParallel(t *testing.T) {
+	serial, err := RunSpecJSON(incastDetSpec(), detOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSpecJSON(incastDetSpec(), detOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("incast at Parallelism=8 is not byte-identical to serial\nserial:   %s\nparallel: %s",
+			serial, parallel)
+	}
+}
+
+// Auditing observes without perturbing: byte-identical output on or off.
+func TestIncastRunSpecJSONAuditOnOff(t *testing.T) {
+	on := detOptions(2)
+	on.Audit = true
+	off := detOptions(2)
+	off.Audit = false
+	a, err := RunSpecJSON(incastDetSpec(), on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSpecJSON(incastDetSpec(), off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("audit changed incast output\non:  %s\noff: %s", a, b)
+	}
+}
+
+// A non-empty schedule adds a faulted twin per degree, faultsweep-style.
+func TestIncastFaultedTwinShape(t *testing.T) {
+	opt := detOptions(4)
+	opt.Warmup = 1 * sim.Microsecond
+	opt.Window = 4 * sim.Microsecond
+	sched := fault.Schedule{{Kind: fault.PauseStorm, StartNs: 2_000, DurationNs: 1_500}}
+	s := RunIncast(FabricSpec{Hosts: 3}, 1, sched, opt)
+	if len(s.Healthy) != 2 || len(s.Faulted) != 2 {
+		t.Fatalf("healthy/faulted = %d/%d points, want 2/2", len(s.Healthy), len(s.Faulted))
+	}
+	for i := range s.Healthy {
+		if s.Healthy[i].Senders != i+1 || s.Faulted[i].Senders != i+1 {
+			t.Errorf("point %d: senders healthy=%d faulted=%d, want %d",
+				i, s.Healthy[i].Senders, s.Faulted[i].Senders, i+1)
+		}
+	}
+}
+
+// --- Short tier: a sub-second audited fabric run ------------------------
+
+func TestIncastShortTier(t *testing.T) {
+	opt := detOptions(1)
+	opt.Audit = true
+	opt.Warmup = 1 * sim.Microsecond
+	opt.Window = 3 * sim.Microsecond
+	s := RunIncast(FabricSpec{Hosts: 2}, 1, nil, opt)
+	if len(s.Healthy) != 1 {
+		t.Fatalf("got %d points, want 1", len(s.Healthy))
+	}
+	p := s.Healthy[0]
+	if p.ReceiverBW() <= 0 {
+		t.Errorf("receiver delivered nothing (%.2f GB/s)", p.ReceiverBW()/1e9)
+	}
+	if p.AggTxBW() <= 0 {
+		t.Errorf("senders emitted nothing (%.2f GB/s)", p.AggTxBW()/1e9)
+	}
+}
+
+// --- Golden render/CSV output -------------------------------------------
+
+// fixedIncastSweep is a synthetic two-degree sweep with a faulted twin,
+// spreading distinct values over every column the renderers read.
+func fixedIncastSweep() *IncastSweep {
+	mk := func(m int, scale float64) IncastPoint {
+		p := IncastPoint{
+			Senders:     m,
+			TxBW:        []float64{0, 12.26e9 * scale, 6.1e9, 0},
+			TxPause:     []float64{0, 0.25 * scale, 0.5, 0},
+			RxBW:        []float64{9.5e9 * scale, 0, 0, 0},
+			RxPause:     []float64{0.125 * scale, 0, 0, 0},
+			RxQueueOcc:  590.5 * scale,
+			SwEgressOcc: 450.25,
+		}
+		p.Recv = fixedMeasure(scale)
+		return p
+	}
+	return &IncastSweep{
+		Hosts: 4, RecvCores: 4, FaultHost: 1,
+		Healthy: []IncastPoint{mk(1, 1), mk(2, 1.25)},
+		Faulted: []IncastPoint{mk(1, 0.75), mk(2, 1)},
+	}
+}
+
+func TestGoldenRenderIncast(t *testing.T) {
+	var buf bytes.Buffer
+	RenderIncast(&buf, fixedIncastSweep())
+	checkGolden(t, "render_incast.golden", buf.Bytes())
+}
+
+func TestGoldenIncastCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := IncastCSV(fixedIncastSweep()).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "healthy,1,") || !strings.Contains(got, "faulted,2,") {
+		t.Fatalf("CSV missing variant rows:\n%s", got)
+	}
+	checkGolden(t, "incast_csv.golden", buf.Bytes())
+}

@@ -47,11 +47,14 @@ type Spec struct {
 	// Reserve is the per-channel WPQ reservation of mcisolation.
 	Reserve int `json:"reserve,omitempty"`
 	// Faults schedules transient degradation windows for experiments that
-	// honor them (quadrant, rdma, hostcc, faultsweep). Faults change
+	// honor them (quadrant, rdma, hostcc, faultsweep, incast). Faults change
 	// results, so they are part of the spec — and thus of the cache key —
 	// unlike the execution-only knobs. Times are absolute simulated
 	// nanoseconds from engine start (warmup begins at 0).
 	Faults []fault.Window `json:"faults,omitempty"`
+	// Fabric is the rack shape and traffic pattern for multi-host
+	// experiments (incast). Nil means the experiment's default rack.
+	Fabric *FabricSpec `json:"fabric,omitempty"`
 }
 
 // Default simulated intervals (§2.2: 20 us warmup, 100 us window).
@@ -71,6 +74,7 @@ type specShape struct {
 	fracs    bool // honors WriteFracs
 	reserve  bool // honors Reserve
 	faults   bool // honors Faults
+	fabric   bool // honors Fabric
 
 	defQuadrant int
 	defCores    []int
@@ -106,6 +110,10 @@ var specShapes = map[string]specShape{
 	// default storm/throttle/starvation demo schedule.
 	"faultsweep": {preset: true, ddio: true, quadrant: true, cores: true, faults: true,
 		defQuadrant: 3, defCores: []int{2, 4, 6}, defFaults: true},
+	// incast is the rack-scale experiment: M senders converge on a receiver
+	// whose host network is the bottleneck. Cores[0] is the receiver's
+	// colocated C2M core count; the fabric section shapes the rack.
+	"incast": {preset: true, ddio: true, cores: true, faults: true, fabric: true, defCores: []int{4}},
 }
 
 // Experiments lists the valid Spec.Experiment names, sorted.
@@ -177,6 +185,14 @@ func (s Spec) Normalized() Spec {
 			n.Faults = DefaultFaultSchedule(n.WarmupNs, n.WindowNs)
 		}
 	}
+	if shape.fabric {
+		fs := FabricSpec{}
+		if s.Fabric != nil {
+			fs = *s.Fabric
+		}
+		nf := fs.Normalized()
+		n.Fabric = &nf
+	}
 	return n
 }
 
@@ -230,6 +246,11 @@ func (s Spec) Validate() error {
 	}
 	if shape.faults {
 		if err := fault.Schedule(s.Faults).Validate(); err != nil {
+			return err
+		}
+	}
+	if shape.fabric && s.Fabric != nil {
+		if err := s.Fabric.Validate(); err != nil {
 			return err
 		}
 	}
@@ -354,6 +375,8 @@ func RunSpec(s Spec, opt Options) (v any, err error) {
 		return RunPrefetchStudy(n.Cores[0], opt), nil
 	case "faultsweep":
 		return RunFaultSweep(Quadrant(n.Quadrant), n.Cores, fault.Schedule(n.Faults), opt), nil
+	case "incast":
+		return RunIncast(*n.Fabric, n.Cores[0], fault.Schedule(n.Faults), opt), nil
 	}
 	return nil, fmt.Errorf("experiment %q validated but not dispatchable", n.Experiment)
 }
@@ -395,6 +418,8 @@ func NewResultValue(experiment string) any {
 		return &PrefetchStudy{}
 	case "faultsweep":
 		return &FaultSweep{}
+	case "incast":
+		return &IncastSweep{}
 	}
 	return nil
 }
@@ -456,6 +481,12 @@ func SpecTasks(s Spec) int {
 		return sweep(len(n.WriteFracs))
 	case "faultsweep":
 		return 2 + 2*sweep(len(n.Cores))
+	case "incast":
+		d := len(n.Fabric.degrees())
+		if len(n.Faults) == 0 {
+			return d
+		}
+		return 2 + 2*d
 	}
 	return 0
 }

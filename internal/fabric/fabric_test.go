@@ -1,0 +1,417 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/audit"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// strictAudit evaluates every invariant after every event and panics on the
+// first violation — the harshest setting, viable only at test windows.
+func strictAudit() audit.Config {
+	return audit.Config{Enabled: true, Every: 1, FailFast: true}
+}
+
+// testAudit is the default-cadence auditor used by the longer tests.
+func testAudit() audit.Config {
+	return audit.Config{Enabled: true, FailFast: true}
+}
+
+func TestNodeIDString(t *testing.T) {
+	cases := []struct {
+		id   NodeID
+		want string
+	}{
+		{NodeID{}, "10.1.1.1"},
+		{NodeID{Host: 3}, "10.1.1.4"},
+		{NodeID{Pod: 2, Edge: 1, Host: 0}, "10.3.2.1"},
+	}
+	for _, c := range cases {
+		if got := c.id.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.id, got, c.want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("one host", func() { New(DefaultConfig(1)) })
+	mustPanic("fewer ports than hosts", func() {
+		cfg := DefaultConfig(4)
+		cfg.Switch.Ports = 2
+		New(cfg)
+	})
+	mustPanic("self flow", func() { New(DefaultConfig(2)).AddFlow(1, 1, 1) })
+	mustPanic("bad rate", func() { New(DefaultConfig(2)).AddFlow(0, 1, 1.5) })
+
+	// Out-of-range FaultHost clamps rather than panics (specs normalize it).
+	cfg := DefaultConfig(2)
+	cfg.FaultHost = 99
+	if f := New(cfg); f.Cfg.FaultHost != 0 {
+		t.Errorf("FaultHost = %d, want clamped to 0", f.Cfg.FaultHost)
+	}
+}
+
+// TestConservationQuick is the line-conservation property over random
+// fabrics: any rack shape, any incast degree, any flow matrix — with PFC on,
+// every line ever emitted is accounted for at the end (none dropped, none
+// duplicated), end to end through the switch. The strict auditor re-checks
+// the same invariant (plus every queue bound and PFC hysteresis state)
+// between every pair of events.
+func TestConservationQuick(t *testing.T) {
+	maxCount := 10
+	if testing.Short() {
+		maxCount = 4
+	}
+	prop := func(h, d, pat uint8) bool {
+		hosts := 2 + int(h)%4   // 2..5
+		degree := 1 + int(d)%(hosts-1)
+		cfg := DefaultConfig(hosts)
+		cfg.Audit = strictAudit()
+		f := New(cfg)
+		if pat%2 == 0 {
+			f.AddIncast(0, degree)
+		} else {
+			// A random-ish flow matrix derived from pat: every host sends to
+			// its successors with alternating sub-line rates.
+			rates := []float64{1, 0.5, 0.25}
+			k := int(pat)
+			for src := 0; src < hosts; src++ {
+				for dst := 0; dst < hosts; dst++ {
+					if src == dst || (src+dst+k)%3 == 0 {
+						continue
+					}
+					f.AddFlow(src, dst, rates[(src+dst+k)%len(rates)])
+				}
+			}
+		}
+		f.Run(1*sim.Microsecond, 3*sim.Microsecond)
+		if ok, detail := f.Conservation(); !ok {
+			t.Logf("hosts=%d degree=%d pat=%d: %s", hosts, degree, pat, detail)
+			return false
+		}
+		for i, n := range f.NICs {
+			if n.dropTotal != 0 {
+				t.Logf("hosts=%d degree=%d pat=%d: NIC %d dropped %d lines", hosts, degree, pat, i, n.dropTotal)
+				return false
+			}
+		}
+		if f.Switch.dropTotal != 0 {
+			t.Logf("hosts=%d degree=%d pat=%d: switch dropped %d lines", hosts, degree, pat, f.Switch.dropTotal)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: maxCount}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// signature captures the observable state of a fabric as plain integers, for
+// bit-identity comparisons.
+func signature(f *Fabric) []int64 {
+	var sig []int64
+	for _, n := range f.NICs {
+		sig = append(sig, n.sentTotal, n.deliveredTotal, n.dropTotal, n.queued())
+	}
+	sig = append(sig, f.Switch.queued(), f.Switch.dropTotal, int64(f.Eng.Now()))
+	return sig
+}
+
+func eqSig(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDeterminismAuditOnOff pins that the auditor observes without
+// perturbing: the same fabric run lands on identical totals with auditing
+// at the strictest cadence, the default cadence, and off.
+func TestDeterminismAuditOnOff(t *testing.T) {
+	run := func(ac audit.Config) []int64 {
+		cfg := DefaultConfig(4)
+		cfg.Audit = ac
+		f := New(cfg)
+		f.AddIncast(0, 3)
+		f.Hosts[0].AddCore(workload.NewSeqReadWrite(f.Hosts[0].Region(1<<30), 1<<30))
+		f.Run(2*sim.Microsecond, 5*sim.Microsecond)
+		return signature(f)
+	}
+	off := run(audit.Config{})
+	def := run(testAudit())
+	strict := run(strictAudit())
+	if !eqSig(off, def) || !eqSig(off, strict) {
+		t.Fatalf("audit changed the simulation\noff:    %v\ndefault:%v\nstrict: %v", off, def, strict)
+	}
+}
+
+// TestDeterminismRepeatedRuns pins run-to-run bit-identity of a fabric.
+func TestDeterminismRepeatedRuns(t *testing.T) {
+	run := func() []int64 {
+		cfg := DefaultConfig(3)
+		cfg.Audit = testAudit()
+		f := New(cfg)
+		f.AddIncast(0, 2)
+		f.Run(2*sim.Microsecond, 5*sim.Microsecond)
+		return signature(f)
+	}
+	a, b := run(), run()
+	if !eqSig(a, b) {
+		t.Fatalf("two identical fabric runs differ\na: %v\nb: %v", a, b)
+	}
+}
+
+// TestEgressFairness pins the switch's round-robin egress-slot arbitration:
+// under a symmetric 3:1 incast with an unloaded receiver, the three senders
+// must share the contended egress port near-equally. (A fixed kick order
+// here degenerates to strict priority: one sender runs at line rate while
+// the others sit permanently paused.)
+func TestEgressFairness(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Audit = testAudit()
+	f := New(cfg)
+	f.AddIncast(0, 3)
+	f.Run(10*sim.Microsecond, 40*sim.Microsecond)
+	lo, hi := int64(1<<62), int64(0)
+	for _, n := range f.NICs[1:] {
+		if n.sentTotal < lo {
+			lo = n.sentTotal
+		}
+		if n.sentTotal > hi {
+			hi = n.sentTotal
+		}
+	}
+	if lo == 0 || float64(hi-lo)/float64(hi) > 0.05 {
+		for i, n := range f.NICs[1:] {
+			t.Logf("sender %d: sent=%d pause=%.3f", i+1, n.sentTotal, n.TxPauseFrac.Frac())
+		}
+		t.Fatalf("unfair egress arbitration: sender totals range [%d, %d]", lo, hi)
+	}
+}
+
+// TestIncastReceiverBottleneck is the acceptance scenario: one sender
+// streams at line rate to a receiver whose host network — IIO/DRAM credits
+// under colocated C2M read+write cores, not the ToR (there is no port
+// contention at 1:1) — is the narrowest element. The receiver's NIC must
+// initiate PFC pause, and that pause must propagate through the switch and
+// measurably throttle the sender on the other host.
+func TestIncastReceiverBottleneck(t *testing.T) {
+	window := 80 * sim.Microsecond
+	if testing.Short() {
+		window = 50 * sim.Microsecond
+	}
+	build := func(recvCores int) *Fabric {
+		cfg := DefaultConfig(4)
+		cfg.Audit = testAudit()
+		f := New(cfg)
+		f.AddFlow(1, 0, 1)
+		for i := 0; i < recvCores; i++ {
+			f.Hosts[0].AddCore(workload.NewSeqReadWrite(f.Hosts[0].Region(1<<30), 1<<30))
+		}
+		f.Run(20*sim.Microsecond, window)
+		return f
+	}
+	loaded := build(4)
+	idle := build(0)
+
+	recv, snd := loaded.NICs[0], loaded.NICs[1]
+	if got := recv.RxPauseFrac.Frac(); got <= 0.05 {
+		t.Errorf("receiver PFC pause frac = %.3f, want > 0.05 (host network should backpressure)", got)
+	}
+	if got := snd.TxPauseFrac.Frac(); got <= 0.01 {
+		t.Errorf("sender TX pause frac = %.3f, want > 0.01 (receiver pause should propagate host->switch->host)", got)
+	}
+	loadedBW, idleBW := recv.RxBytesPerSec(), idle.NICs[0].RxBytesPerSec()
+	if loadedBW >= idleBW {
+		t.Errorf("loaded receiver delivered %.2f GB/s >= idle %.2f GB/s; colocated cores should degrade delivery",
+			loadedBW/1e9, idleBW/1e9)
+	}
+	if idle.NICs[0].RxPauseFrac.Frac() != 0 {
+		t.Errorf("idle receiver paused %.3f of the window; an unloaded host should keep up with one flow",
+			idle.NICs[0].RxPauseFrac.Frac())
+	}
+	for _, f := range []*Fabric{loaded, idle} {
+		if ok, detail := f.Conservation(); !ok {
+			t.Errorf("conservation: %s", detail)
+		}
+	}
+}
+
+// faultHostFor picks the host whose fault placement is observable: faults on
+// the receive path (DRAM, IIO, pause storms) go to the receiver; faults on
+// the transmit path (link flap, lane degrade) go to a sender.
+func faultHostFor(k fault.Kind) int {
+	switch k {
+	case fault.LinkFlap, fault.LaneDegrade:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// TestFaultKindsFabric applies every fault kind to one host of a 4-host
+// incast fabric and pins the healthy-twin contract: the faulted run is
+// bit-identical to the healthy run at every sample strictly before the
+// fault window opens, and measurably different after.
+func TestFaultKindsFabric(t *testing.T) {
+	const (
+		startNs = 25_000
+		durNs   = 15_000
+		totalNs = 50_000
+		stepNs  = 5_000
+	)
+	for _, k := range fault.Kinds() {
+		k := k
+		t.Run(string(k), func(t *testing.T) {
+			t.Parallel()
+			sample := func(sched fault.Schedule) [][]int64 {
+				cfg := DefaultConfig(4)
+				cfg.Audit = testAudit()
+				cfg.Faults = sched
+				cfg.FaultHost = faultHostFor(k)
+				f := New(cfg)
+				f.AddIncast(0, 3)
+				for i := 0; i < 4; i++ {
+					f.Hosts[0].AddCore(workload.NewSeqReadWrite(f.Hosts[0].Region(1<<30), 1<<30))
+				}
+				var out [][]int64
+				for ns := int64(stepNs); ns <= totalNs; ns += stepNs {
+					f.Eng.RunUntil(sim.Time(ns) * sim.Nanosecond)
+					out = append(out, signature(f))
+				}
+				f.Auditor.CheckEnd()
+				return out
+			}
+			healthy := sample(nil)
+			faulted := sample(fault.Schedule{{Kind: k, StartNs: startNs, DurationNs: durNs}})
+			diverged := false
+			for i := range healthy {
+				ns := int64(i+1) * stepNs
+				same := eqSig(healthy[i], faulted[i])
+				if ns < startNs && !same {
+					t.Errorf("t=%dns (before fault at %dns): faulted run already differs\nhealthy: %v\nfaulted: %v",
+						ns, startNs, healthy[i], faulted[i])
+				}
+				if ns >= startNs && !same {
+					diverged = true
+				}
+			}
+			if !diverged {
+				t.Errorf("fault %s on host %d left no observable trace after %dns", k, faultHostFor(k), startNs)
+			}
+		})
+	}
+}
+
+// TestPauseStormPropagation pins the cross-host pause chain the fabric
+// exists to model: a pfc_pause_storm pinning one receiver NIC's XOFF must
+// surface as TX pause time on a sender one switch away.
+func TestPauseStormPropagation(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Audit = testAudit()
+	cfg.FaultHost = 0
+	cfg.Faults = fault.Schedule{{Kind: fault.PauseStorm, StartNs: 10_000, DurationNs: 20_000}}
+	f := New(cfg)
+	f.AddFlow(1, 0, 1)
+	f.Run(5*sim.Microsecond, 40*sim.Microsecond)
+	if got := f.NICs[0].RxPauseFrac.Frac(); got <= 0.3 {
+		t.Errorf("stormed receiver pause frac = %.3f, want > 0.3", got)
+	}
+	if got := f.NICs[1].TxPauseFrac.Frac(); got <= 0.1 {
+		t.Errorf("sender pause frac = %.3f, want > 0.1 (storm should propagate host->switch->host)", got)
+	}
+	if ok, detail := f.Conservation(); !ok {
+		t.Errorf("conservation: %s", detail)
+	}
+}
+
+// TestLinkFlapStopsAndRecovers pins the link-flap fault end to end: during
+// the down window the sender emits nothing, and after it traffic resumes.
+func TestLinkFlapStopsAndRecovers(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Audit = testAudit()
+	cfg.FaultHost = 1
+	cfg.Faults = fault.Schedule{{Kind: fault.LinkFlap, StartNs: 10_000, DurationNs: 10_000}}
+	f := New(cfg)
+	f.AddFlow(1, 0, 1)
+	snd := f.NICs[1]
+
+	f.Eng.RunUntil(10 * sim.Microsecond)
+	atDown := snd.sentTotal
+	if atDown == 0 {
+		t.Fatal("sender emitted nothing before the flap")
+	}
+	f.Eng.RunUntil(19 * sim.Microsecond) // strictly inside the down window
+	duringDown := snd.sentTotal
+	if duringDown != atDown {
+		t.Errorf("sender emitted %d lines while its link was down", duringDown-atDown)
+	}
+	f.Eng.RunUntil(30 * sim.Microsecond)
+	if snd.sentTotal == duringDown {
+		t.Error("sender never resumed after the link came back")
+	}
+	if ok, detail := f.Conservation(); !ok {
+		t.Errorf("conservation: %s", detail)
+	}
+}
+
+// TestAuditDomainsNamespaced pins the per-host audit namespacing: a fabric
+// violation must be attributable to the owning host.
+func TestAuditDomainsNamespaced(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Audit = audit.Config{Enabled: true} // collect, don't panic
+	f := New(cfg)
+	// Corrupt host 1's NIC accounting and force an end-of-window check: the
+	// violation must land in the h1/nic domain.
+	f.AddFlow(0, 1, 1)
+	f.Eng.RunUntil(1 * sim.Microsecond)
+	f.NICs[1].dropTotal = 7
+	f.Auditor.CheckEnd()
+	found := false
+	for _, v := range f.Auditor.Violations() {
+		if v.Domain == "h1/nic" {
+			found = true
+		}
+		if v.Domain == "h0/nic" {
+			t.Errorf("violation misattributed to h0/nic: %+v", v)
+		}
+	}
+	if !found {
+		t.Fatalf("no violation attributed to h1/nic; got %+v", f.Auditor.Violations())
+	}
+}
+
+// BenchmarkFabricSteadyState drives the event hot path of a warm 4-host
+// incast rack. CI gates on 0 allocs/op: the per-line path (flow tick, TX
+// serialization, switch forwarding, egress, RX pump through the IIO) must
+// not allocate.
+func BenchmarkFabricSteadyState(b *testing.B) {
+	f := New(DefaultConfig(4))
+	f.AddIncast(0, 3)
+	f.Eng.RunUntil(2 * sim.Microsecond) // fill queues to steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !f.Eng.Step() {
+			b.Fatal("engine ran dry")
+		}
+	}
+}

@@ -126,21 +126,39 @@ type Host struct {
 func New(cfg Config) *Host {
 	eng := sim.New()
 	aud := audit.New(eng, cfg.Audit)
+	inj := fault.NewInjector(eng, cfg.Faults)
+	h := NewOn(eng, aud, inj, "", cfg)
+	inj.Start()
+	return h
+}
+
+// NewOn assembles a host on a shared engine — the multi-host path used by
+// internal/fabric to put N host networks on one clock. The auditor and
+// injector are shared across the hosts of a fabric (either may be nil:
+// a nil auditor disables checking, a nil injector means this host is not a
+// fault target); prefix, when non-empty, namespaces the host's audit
+// domains ("h3/dram", "h3/iio", ...) so violations attribute to the right
+// host. Core audit domains keep their per-core labels. The caller owns
+// Injector.Start, which must run once after every target is attached.
+func NewOn(eng *sim.Engine, aud *audit.Auditor, inj *fault.Injector, prefix string, cfg Config) *Host {
 	// Thread the auditor into every component config (and keep it in Cfg so
 	// AddCore-built cores inherit it).
 	cfg.MC.Audit = aud
 	cfg.CHA.Audit = aud
 	cfg.IIO.Audit = aud
 	cfg.Core.Audit = aud
+	if prefix != "" {
+		cfg.MC.AuditDomain = prefix + "/dram"
+		cfg.CHA.AuditDomain = prefix + "/cha"
+		cfg.IIO.AuditDomain = prefix + "/iio"
+	}
 	mapper := mem.MustMapper(cfg.Mapper)
 	mc := dram.New(eng, cfg.MC, mapper, nil)
 	ddio := cache.NewDDIO(cfg.DDIO)
 	ch := cha.New(eng, cfg.CHA, mc, ddio)
 	io := iio.New(eng, cfg.IIO, ch)
-	inj := fault.NewInjector(eng, cfg.Faults)
 	inj.AttachDRAM(mc)
 	inj.AttachIIO(io)
-	inj.Start()
 	return &Host{Eng: eng, Cfg: cfg, Auditor: aud, Faults: inj, MC: mc, CHA: ch, IIO: io, DDIO: ddio, ingress: ch}
 }
 
