@@ -45,6 +45,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	rtrace "runtime/trace"
 	"strings"
@@ -57,6 +58,14 @@ import (
 )
 
 func main() {
+	// The event loop allocates short-lived closures at a high rate; the
+	// default GC target (GOGC=100) spends ~10% of the run in collection
+	// cycles for no benefit on a process this small. Respect an explicit
+	// GOGC, otherwise trade heap headroom for wall-clock. GC timing cannot
+	// affect results — outputs are pinned byte-identical either way.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(800)
+	}
 	// Profile teardown happens via defers, so the exit code is carried out
 	// of realMain instead of calling os.Exit mid-run.
 	os.Exit(realMain())
@@ -73,6 +82,8 @@ func realMain() int {
 	showVersion := flag.Bool("version", false, "print build version and exit")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	hosts := flag.Int("hosts", 0, "rack size for the incast experiment (default 4)")
+	partitioned := flag.Bool("partitioned", false, "run incast racks as a conservative-parallel DES (per-host engines, ToR-lookahead rounds; no fault injection)")
+	fabricWorkers := flag.Int("fabric-workers", 0, "goroutines stepping a partitioned rack's hosts (<= 1 = serial rounds; results are byte-identical at any value)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write allocation profile to `file` at exit")
 	traceOut := flag.String("trace", "", "write runtime execution trace to `file`")
@@ -143,7 +154,9 @@ func realMain() int {
 		return 2
 	}
 	opt.Faults = faults
+	opt.FabricWorkers = *fabricWorkers
 	fabricHosts = *hosts
+	fabricPartitioned = *partitioned
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -171,6 +184,11 @@ var emitCSV bool
 // spec's default rack of 4).
 var fabricHosts int
 
+// fabricPartitioned carries the -partitioned flag: incast racks run as a
+// conservative-parallel DES (a spec-level mode, since its discretization
+// differs from the shared-engine rack).
+var fabricPartitioned bool
+
 // runJSON emits the canonical JSON Result envelope for each named
 // experiment, one NDJSON line per name — byte-identical to hostnetd's
 // result endpoint for the same spec (both route through exp.RunSpecJSON).
@@ -186,8 +204,8 @@ func runJSON(opt hostnet.Options, window, warmup time.Duration, ddio bool, names
 			DDIO:       ddio,
 			Faults:     opt.Faults,
 		}
-		if name == "incast" && fabricHosts > 0 {
-			spec.Fabric = &hostnet.FabricSpec{Hosts: fabricHosts}
+		if name == "incast" && (fabricHosts > 0 || fabricPartitioned) {
+			spec.Fabric = &hostnet.FabricSpec{Hosts: fabricHosts, Partitioned: fabricPartitioned}
 		}
 		b, err := exp.RunSpecJSON(spec, opt)
 		if err != nil {
@@ -311,9 +329,13 @@ func run(opt hostnet.Options, names ...string) int {
 			fmt.Fprintf(w, "  P2M degradation: %.2fx -> %.2fx\n", s.P2MDegrOff(), s.P2MDegrOn())
 			fmt.Fprintf(w, "  C2M degradation: %.2fx -> %.2fx\n\n", s.C2MDegrOff(), s.C2MDegrOn())
 		case "incast":
-			fs := hostnet.FabricSpec{Hosts: fabricHosts}
+			fs := hostnet.FabricSpec{Hosts: fabricHosts, Partitioned: fabricPartitioned}
 			if err := fs.Validate(); err != nil {
 				fmt.Fprintln(os.Stderr, "-hosts:", err)
+				return 2
+			}
+			if fs.Partitioned && len(opt.Faults) > 0 {
+				fmt.Fprintln(os.Stderr, "-partitioned: partitioned racks do not support fault injection")
 				return 2
 			}
 			s := hostnet.RunIncast(fs, 4, opt.Faults, opt)
@@ -421,7 +443,7 @@ func head(xs []int, n int) []int {
 
 // boolFlags are the flags that take no value argument; every other flag
 // consumes the following token when written as "-flag value".
-var boolFlags = map[string]bool{"ddio": true, "csv": true, "audit": true, "version": true}
+var boolFlags = map[string]bool{"ddio": true, "csv": true, "audit": true, "version": true, "partitioned": true}
 
 // reorderArgs moves flag tokens ahead of experiment names so that
 // "hostnetsim fig3 -parallel 8" works; the standard flag package stops

@@ -170,3 +170,45 @@ func NewGAPBSPageRank(base mem.Addr, seed uint64) cpu.Generator {
 func NewGAPBSBC(base mem.Addr, seed uint64) cpu.Generator {
 	return workload.NewMix(base, 5<<30, 0.20, 12*sim.Nanosecond, seed)
 }
+
+// redisState is the snapshot of a Redis generator.
+type redisState struct {
+	rng       any
+	phase     int
+	readyAt   sim.Time
+	chainLeft int
+	valueLeft int
+	valueBase mem.Addr
+	valueEnd  mem.Addr
+	pendingWB []mem.Addr
+	outstand  int
+	issuedAll bool
+}
+
+// SaveState implements sim.Stateful.
+func (r *Redis) SaveState() any {
+	st := redisState{
+		phase: r.phase, readyAt: r.readyAt,
+		chainLeft: r.chainLeft, valueLeft: r.valueLeft,
+		valueBase: r.valueBase, valueEnd: r.valueEnd,
+		pendingWB: append([]mem.Addr(nil), r.pendingWB...),
+		outstand:  r.outstanding, issuedAll: r.issuedAll,
+	}
+	if rng, ok := r.rng.(*sim.Rand); ok {
+		st.rng = rng.SaveState()
+	}
+	return st
+}
+
+// LoadState implements sim.Stateful.
+func (r *Redis) LoadState(state any) {
+	st := state.(redisState)
+	r.phase, r.readyAt = st.phase, st.readyAt
+	r.chainLeft, r.valueLeft = st.chainLeft, st.valueLeft
+	r.valueBase, r.valueEnd = st.valueBase, st.valueEnd
+	r.pendingWB = append(r.pendingWB[:0], st.pendingWB...)
+	r.outstanding, r.issuedAll = st.outstand, st.issuedAll
+	if rng, ok := r.rng.(*sim.Rand); ok {
+		rng.LoadState(st.rng)
+	}
+}

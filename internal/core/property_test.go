@@ -1,7 +1,6 @@
 package core_test
 
 import (
-	"math/rand/v2"
 	"testing"
 	"testing/quick"
 
@@ -23,7 +22,7 @@ import (
 // standing in for the CHA -> MC -> DRAM path with arbitrary contention.
 type randomSink struct {
 	eng *sim.Engine
-	rng *rand.Rand
+	rng *sim.Rand
 }
 
 func (s *randomSink) Submit(r *mem.Request) {

@@ -36,7 +36,12 @@ type Prefetcher struct {
 
 	inflight map[mem.Addr]bool
 	ready    map[mem.Addr]bool
-	free     int
+	// readyOrder remembers completion order of the ready set so capacity
+	// eviction is deterministic (oldest first). Iterating the map to pick a
+	// victim would leak Go's randomized map order into simulation output.
+	readyOrder []mem.Addr
+	readyHead  int
+	free       int
 }
 
 // DefaultPrefetcher returns an L2-stream-prefetcher-like configuration.
@@ -123,13 +128,78 @@ func (p *Prefetcher) complete(a mem.Addr) {
 		delete(p.inflight, a)
 		p.free++
 		p.ready[a] = true
-		// Cap the ready set: evict arbitrary stale entries (the tiny L2
-		// footprint of prefetched-but-unconsumed lines).
-		if len(p.ready) > 4*p.Slots {
-			for k := range p.ready {
-				delete(p.ready, k)
-				break
-			}
+		p.readyOrder = append(p.readyOrder, a)
+		// Entries consumed by lookup stay in readyOrder as tombstones; drop
+		// any at the front so the order list tracks the live ready set
+		// instead of growing for the whole run.
+		p.pruneReadyOrder()
+		// Cap the ready set: evict the oldest unconsumed line (the tiny L2
+		// footprint of prefetched-but-unconsumed lines). Iterating the map to
+		// pick a victim would leak Go's randomized map order into simulation
+		// output; completion order is deterministic.
+		for len(p.ready) > 4*p.Slots && p.readyHead < len(p.readyOrder) {
+			victim := p.readyOrder[p.readyHead]
+			p.readyHead++
+			delete(p.ready, victim)
+			p.pruneReadyOrder()
 		}
 	}
+}
+
+// pruneReadyOrder advances past tombstones and compacts the backing array
+// once the dead prefix dominates, keeping the order list O(live entries).
+func (p *Prefetcher) pruneReadyOrder() {
+	for p.readyHead < len(p.readyOrder) && !p.ready[p.readyOrder[p.readyHead]] {
+		p.readyHead++
+	}
+	if p.readyHead > 64 && p.readyHead > len(p.readyOrder)/2 {
+		n := copy(p.readyOrder, p.readyOrder[p.readyHead:])
+		p.readyOrder = p.readyOrder[:n]
+		p.readyHead = 0
+	}
+}
+
+// prefetcherState is the snapshot of a Prefetcher.
+type prefetcherState struct {
+	lastAddr   mem.Addr
+	streak     int
+	armed      bool
+	nextPF     mem.Addr
+	inflight   []mem.Addr
+	ready      []mem.Addr
+	readyOrder []mem.Addr
+	free       int
+}
+
+func (p *Prefetcher) saveState() prefetcherState {
+	st := prefetcherState{
+		lastAddr:   p.lastAddr,
+		streak:     p.streak,
+		armed:      p.armed,
+		nextPF:     p.nextPF,
+		readyOrder: append([]mem.Addr(nil), p.readyOrder[p.readyHead:]...),
+		free:       p.free,
+	}
+	for a := range p.inflight {
+		st.inflight = append(st.inflight, a)
+	}
+	for a := range p.ready {
+		st.ready = append(st.ready, a)
+	}
+	return st
+}
+
+func (p *Prefetcher) loadState(st prefetcherState) {
+	p.init()
+	p.lastAddr, p.streak, p.armed, p.nextPF, p.free = st.lastAddr, st.streak, st.armed, st.nextPF, st.free
+	clear(p.inflight)
+	for _, a := range st.inflight {
+		p.inflight[a] = true
+	}
+	clear(p.ready)
+	for _, a := range st.ready {
+		p.ready[a] = true
+	}
+	p.readyOrder = append(p.readyOrder[:0], st.readyOrder...)
+	p.readyHead = 0
 }

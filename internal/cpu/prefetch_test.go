@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/mem"
@@ -153,5 +155,74 @@ func TestPrefetchInflightPiggyback(t *testing.T) {
 	}
 	if c.Stats().LFBOcc.Level() != 0 {
 		t.Fatalf("LFB leak: %d entries still held", c.Stats().LFBOcc.Level())
+	}
+}
+
+// driveEvictions arms a stream, completes every issued prefetch without
+// consuming any, and re-arms at a fresh region until the ready-set cap
+// forces well over a hundred evictions. It returns the surviving ready set
+// in a canonical (sorted) order.
+func driveEvictions(p *Prefetcher) []mem.Addr {
+	base := mem.Addr(0)
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 8; i++ {
+			for _, pf := range p.observe(base + mem.Addr(i*mem.LineSize)) {
+				p.complete(pf)
+			}
+		}
+		base += 1 << 20 // jump far away: the old stream's lines are never consumed
+	}
+	var out []mem.Addr
+	for a := range p.ready {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestPrefetcherEvictionDeterministic pins the fix for the ready-set
+// capacity eviction: the victim used to be picked by ranging over the ready
+// map, leaking Go's randomized map iteration order into simulation state.
+// Two identical runs must now leave identical survivors (oldest-completed
+// lines evicted first).
+func TestPrefetcherEvictionDeterministic(t *testing.T) {
+	a := driveEvictions(DefaultPrefetcher())
+	b := driveEvictions(DefaultPrefetcher())
+	// The drive must actually exercise the cap, or the test is vacuous.
+	if len(a) < 4*DefaultPrefetcher().Slots {
+		t.Fatalf("ready set never reached the eviction cap: %d lines", len(a))
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("eviction survivors differ between identical runs:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// TestPrefetcherEvictionOldestFirst checks the documented policy directly:
+// with the cap exceeded, the lines evicted are exactly the oldest completed
+// ones, so the survivors are the most recent 4*Slots completions.
+func TestPrefetcherEvictionOldestFirst(t *testing.T) {
+	p := &Prefetcher{Slots: 2, Depth: 4, Trigger: 1, HitLatency: sim.Nanosecond}
+	p.init()
+	var completed []mem.Addr
+	base := mem.Addr(0)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 4; i++ {
+			for _, pf := range p.observe(base + mem.Addr(i*mem.LineSize)) {
+				p.complete(pf)
+				completed = append(completed, pf)
+			}
+		}
+		base += 1 << 20
+	}
+	cap := 4 * p.Slots
+	if len(completed) <= cap {
+		t.Fatalf("only %d completions; need more than %d to force eviction", len(completed), cap)
+	}
+	want := map[mem.Addr]bool{}
+	for _, a := range completed[len(completed)-cap:] {
+		want[a] = true
+	}
+	if !reflect.DeepEqual(p.ready, want) {
+		t.Fatalf("survivors are not the newest %d completions:\ngot  %v\nwant %v", cap, p.ready, want)
 	}
 }

@@ -291,6 +291,8 @@ func New(eng *sim.Engine, cfg Config, mapper *mem.Mapper, client Client) *Contro
 			BankDeviation: &telemetry.Samples{},
 		},
 	}
+	eng.Register(c)
+	eng.Register(c.stats.BankDeviation)
 	for i := 0; i < mapper.Channels(); i++ {
 		ch := &channel{
 			ctl:       c,
@@ -415,7 +417,7 @@ func (c *Controller) WPQHasSpace(a mem.Addr) bool {
 // the relevant queue is full; the caller (the CHA) holds the request and
 // retries on ReadComplete/WPQSpaceFreed notifications.
 func (c *Controller) TryEnqueue(r *mem.Request) bool {
-	coord := c.mapper.Map(r.Addr)
+	coord := r.MapCoord(c.mapper)
 	ch := c.chans[coord.Channel]
 	switch r.Kind {
 	case mem.Read:
@@ -490,7 +492,7 @@ func (ch *channel) pickIndex(q []*mem.Request) int {
 	}
 	best, bestReady := -1, sim.Time(1<<62)
 	for i := 0; i < window; i++ {
-		coord := ch.ctl.mapper.Map(q[i].Addr)
+		coord := q[i].MapCoord(ch.ctl.mapper)
 		b := &ch.banks[coord.Bank]
 		start := b.readyAt
 		if start < now {
@@ -634,7 +636,7 @@ func (ch *channel) issue(r *mem.Request) {
 	eng := ch.ctl.eng
 	now := eng.Now()
 	t := ch.timing
-	coord := ch.ctl.mapper.Map(r.Addr)
+	coord := r.MapCoord(ch.ctl.mapper)
 	b := &ch.banks[coord.Bank]
 	ks := ch.ctl.stats.kindStats(r.Source, r.Kind)
 	start := b.readyAt
@@ -683,4 +685,66 @@ func (ch *channel) burstDone(r *mem.Request) {
 		}
 	}
 	ch.waker.Wake()
+}
+
+// channelState is the snapshot of one channel.
+type channelState struct {
+	mode         mem.Kind
+	busyTill     sim.Time
+	banks        []bank
+	rdWait       mem.QueueState
+	wrWait       mem.QueueState
+	rdCount      int
+	wrCount      int
+	drainIssued  int
+	lastDrainEnd sim.Time
+	throttled    Timing
+	isThrottled  bool // whether ch.timing pointed at the throttled copy
+	bankLoads    []int
+	sampleCount  int
+}
+
+// SaveState implements sim.Stateful.
+func (c *Controller) SaveState() any {
+	states := make([]channelState, len(c.chans))
+	for i, ch := range c.chans {
+		states[i] = channelState{
+			mode:         ch.mode,
+			busyTill:     ch.busyTill,
+			banks:        append([]bank(nil), ch.banks...),
+			rdWait:       mem.SaveQueue(ch.rdWait),
+			wrWait:       mem.SaveQueue(ch.wrWait),
+			rdCount:      ch.rdCount,
+			wrCount:      ch.wrCount,
+			drainIssued:  ch.drainIssued,
+			lastDrainEnd: ch.lastDrainEnd,
+			throttled:    ch.throttled,
+			isThrottled:  ch.timing == &ch.throttled,
+			bankLoads:    append([]int(nil), ch.bankLoads...),
+			sampleCount:  ch.sampleCount,
+		}
+	}
+	return states
+}
+
+// LoadState implements sim.Stateful.
+func (c *Controller) LoadState(state any) {
+	states := state.([]channelState)
+	for i, ch := range c.chans {
+		st := states[i]
+		ch.mode, ch.busyTill = st.mode, st.busyTill
+		copy(ch.banks, st.banks)
+		ch.rdWait = st.rdWait.Restore(ch.rdWait)
+		ch.wrWait = st.wrWait.Restore(ch.wrWait)
+		ch.rdCount, ch.wrCount = st.rdCount, st.wrCount
+		ch.drainIssued, ch.lastDrainEnd = st.drainIssued, st.lastDrainEnd
+		ch.throttled = st.throttled
+		if st.isThrottled {
+			ch.timing = &ch.throttled
+		} else {
+			ch.timing = &c.cfg.Timing
+		}
+		copy(ch.bankLoads, st.bankLoads)
+		ch.sampleCount = st.sampleCount
+	}
 }

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func partitionedIncastSpec() Spec {
+	return Spec{
+		Experiment: "incast",
+		Cores:      []int{2},
+		WarmupNs:   2000,
+		WindowNs:   5000,
+		Fabric:     &FabricSpec{Hosts: 3, Partitioned: true},
+	}
+}
+
+// TestIncastPartitionedWorkerIdentity pins the conservative-parallel-DES
+// guarantee end to end: a partitioned incast spec produces byte-identical
+// RunSpecJSON whether the rack's partitions advance on 1, 2, or N
+// goroutines (and at any sweep parallelism on top). This is what lets
+// FabricWorkers stay an execution-only knob outside the spec hash.
+func TestIncastPartitionedWorkerIdentity(t *testing.T) {
+	spec := partitionedIncastSpec()
+	base := fastOpt(1)
+	base.FabricWorkers = 1
+	want, err := RunSpecJSON(spec, base)
+	if err != nil {
+		t.Fatalf("workers=1: %v", err)
+	}
+	for _, w := range []int{2, 5} {
+		opt := fastOpt(1)
+		opt.FabricWorkers = w
+		got, err := RunSpecJSON(spec, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("bytes differ between 1 and %d fabric workers:\n%s\nvs\n%s", w, want, got)
+		}
+	}
+	// Sweep-pool parallelism composes with the rack's worker pool.
+	opt := fastOpt(4)
+	opt.FabricWorkers = 3
+	got, err := RunSpecJSON(spec, opt)
+	if err != nil {
+		t.Fatalf("parallel sweep: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("bytes differ between serial and parallel sweep over partitioned racks")
+	}
+}
+
+// TestIncastPartitionedRejectsFaults pins the spec-level guard: a
+// partitioned rack has no rack-wide fault observer, so the combination must
+// fail validation instead of silently dropping the schedule.
+func TestIncastPartitionedRejectsFaults(t *testing.T) {
+	spec := partitionedIncastSpec()
+	spec.Faults = DefaultFaultSchedule(spec.WarmupNs, spec.WindowNs)
+	if _, err := RunSpecJSON(spec, fastOpt(1)); err == nil {
+		t.Fatalf("partitioned incast with faults validated")
+	} else if !strings.Contains(err.Error(), "partitioned") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestIncastPartitionedIsDistinctSpec pins that Partitioned participates in
+// the content address: it selects a different discretization, so it must
+// produce a different cache key than the shared-engine spec.
+func TestIncastPartitionedIsDistinctSpec(t *testing.T) {
+	part := partitionedIncastSpec()
+	shared := partitionedIncastSpec()
+	shared.Fabric.Partitioned = false
+	hp, err := part.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := shared.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp == hs {
+		t.Fatalf("partitioned and shared specs hash equal: %s", hp)
+	}
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -91,6 +92,23 @@ func TestQuadrants2And4Blue(t *testing.T) {
 			if d := p.P2MDegradation(); d > 1.1 {
 				t.Errorf("%v cores=%d: P2M degraded %.2fx; want intact", q, p.Cores, d)
 			}
+		}
+	}
+}
+
+// TestRunFig3MatchesQuadrants pins the runKey dedup claim on RunFig3: the
+// deduped figure — each unique simulation run once and shared across the
+// points that need it — is byte-identical to assembling every quadrant
+// independently via RunQuadrant, which runs each point from scratch.
+func TestRunFig3MatchesQuadrants(t *testing.T) {
+	opt := Defaults()
+	opt.Warmup = 1 * sim.Microsecond
+	opt.Window = 3 * sim.Microsecond
+	fig := RunFig3(opt)
+	for _, q := range []Quadrant{Q1, Q2, Q3, Q4} {
+		want := RunQuadrant(q, DefaultCoreSweep(), opt)
+		if !reflect.DeepEqual(fig[q], want) {
+			t.Errorf("%v: RunFig3 points differ from RunQuadrant:\nfig3 %+v\nquad %+v", q, fig[q], want)
 		}
 	}
 }

@@ -253,6 +253,9 @@ func (s Spec) Validate() error {
 		if err := s.Fabric.Validate(); err != nil {
 			return err
 		}
+		if s.Fabric.Partitioned && len(s.Faults) > 0 {
+			return fmt.Errorf("fabric: partitioned racks do not support fault injection (drop faults or partitioned)")
+		}
 	}
 	return nil
 }
@@ -461,7 +464,12 @@ func SpecTasks(s Spec) int {
 	// pdo/pmap also count the enclosing fan-out tasks.
 	sweep := func(counts int) int { return counts + 1 }
 	switch n.Experiment {
-	case "fig3", "fig18":
+	case "fig3":
+		// RunFig3 dedups the 4x13 logical runs to the unique-key set: two
+		// C2M iso baselines per core count, two device baselines, and the
+		// four quadrants' colocated runs.
+		return 2*len(DefaultCoreSweep()) + 2 + 4*len(DefaultCoreSweep())
+	case "fig18":
 		return 4 + 4*sweep(len(DefaultCoreSweep()))
 	case "fig11", "fig27":
 		return 4 + 4*sweep(len(DefaultCoreSweep()))

@@ -76,7 +76,7 @@ func TestConservationQuick(t *testing.T) {
 		maxCount = 4
 	}
 	prop := func(h, d, pat uint8) bool {
-		hosts := 2 + int(h)%4   // 2..5
+		hosts := 2 + int(h)%4 // 2..5
 		degree := 1 + int(d)%(hosts-1)
 		cfg := DefaultConfig(hosts)
 		cfg.Audit = strictAudit()

@@ -1,0 +1,152 @@
+package fabric
+
+import "repro/internal/sim"
+
+// Fabric snapshot support. Flows and ports are long-lived objects reachable
+// from their NIC/Switch, so their mutable fields ride along in the parent's
+// state instead of implementing sim.Stateful themselves — the engine's
+// live-arg walk only needs Stateful on pooled arguments, and the fabric
+// pools nothing.
+
+// ringState is a value copy of a ring's occupied region semantics: the whole
+// backing buffer plus cursor. Buffers are fixed-capacity, so restoring into
+// the existing ring never reallocates.
+type ringState struct {
+	buf  []int32
+	head int
+	n    int
+}
+
+func saveRing(r *ring) ringState {
+	return ringState{buf: append([]int32(nil), r.buf...), head: r.head, n: r.n}
+}
+
+func (s ringState) restore(r *ring) {
+	copy(r.buf, s.buf)
+	r.head, r.n = s.head, s.n
+}
+
+// nicState is the snapshot of a NIC, including each flow's offer flag.
+type nicState struct {
+	flowPending []bool
+	txFreeAt    sim.Time
+	txRot       int
+	txPaused    bool
+	linkDown    bool
+	lineMult    float64
+	wireTx      int64
+
+	rxQ      ringState
+	rxXoff   bool
+	storm    bool
+	waiting  bool
+	wireRx   int64
+	inHost   int64
+	nextLine int64
+
+	sentTotal, deliveredTotal, dropTotal int64
+}
+
+// SaveState implements sim.Stateful.
+func (n *NIC) SaveState() any {
+	st := nicState{
+		flowPending:    make([]bool, len(n.flows)),
+		txFreeAt:       n.txFreeAt,
+		txRot:          n.txRot,
+		txPaused:       n.txPaused,
+		linkDown:       n.linkDown,
+		lineMult:       n.lineMult,
+		wireTx:         n.wireTx,
+		rxQ:            saveRing(&n.rxQ),
+		rxXoff:         n.rxXoff,
+		storm:          n.storm,
+		waiting:        n.waiting,
+		wireRx:         n.wireRx,
+		inHost:         n.inHost,
+		nextLine:       n.nextLine,
+		sentTotal:      n.sentTotal,
+		deliveredTotal: n.deliveredTotal,
+		dropTotal:      n.dropTotal,
+	}
+	for i, f := range n.flows {
+		st.flowPending[i] = f.pending
+	}
+	return st
+}
+
+// LoadState implements sim.Stateful. Flows added after the snapshot keep
+// their current offer flag untouched; snapshot/restore on a fixed topology
+// (the supported mode) never hits that case.
+func (n *NIC) LoadState(state any) {
+	st := state.(nicState)
+	for i, f := range n.flows {
+		if i < len(st.flowPending) {
+			f.pending = st.flowPending[i]
+		}
+	}
+	n.txFreeAt, n.txRot, n.txPaused, n.linkDown = st.txFreeAt, st.txRot, st.txPaused, st.linkDown
+	n.lineMult, n.wireTx = st.lineMult, st.wireTx
+	st.rxQ.restore(&n.rxQ)
+	n.rxXoff, n.storm, n.waiting = st.rxXoff, st.storm, st.waiting
+	n.wireRx, n.inHost, n.nextLine = st.wireRx, st.inHost, st.nextLine
+	n.sentTotal, n.deliveredTotal, n.dropTotal = st.sentTotal, st.deliveredTotal, st.dropTotal
+}
+
+// portState is the snapshot of one switch port.
+type portState struct {
+	in, out   ringState
+	fwdNextAt sim.Time
+	fwdArmed  bool
+	hol       bool
+	reserved  int
+	egrBusy   bool
+	paused    bool
+	down      bool
+	txPause   bool
+}
+
+// switchState is the snapshot of the ToR.
+type switchState struct {
+	ports       []portState
+	holRot      int
+	fwdInFlight int64
+	dropTotal   int64
+}
+
+// SaveState implements sim.Stateful.
+func (s *Switch) SaveState() any {
+	st := switchState{
+		ports:       make([]portState, len(s.ports)),
+		holRot:      s.holRot,
+		fwdInFlight: s.fwdInFlight,
+		dropTotal:   s.dropTotal,
+	}
+	for i, p := range s.ports {
+		st.ports[i] = portState{
+			in:        saveRing(&p.in),
+			out:       saveRing(&p.out),
+			fwdNextAt: p.fwdNextAt,
+			fwdArmed:  p.fwdArmed,
+			hol:       p.hol,
+			reserved:  p.reserved,
+			egrBusy:   p.egrBusy,
+			paused:    p.paused,
+			down:      p.down,
+			txPause:   p.txPause,
+		}
+	}
+	return st
+}
+
+// LoadState implements sim.Stateful.
+func (s *Switch) LoadState(state any) {
+	st := state.(switchState)
+	for i, p := range s.ports {
+		ps := st.ports[i]
+		ps.in.restore(&p.in)
+		ps.out.restore(&p.out)
+		p.fwdNextAt, p.fwdArmed, p.hol = ps.fwdNextAt, ps.fwdArmed, ps.hol
+		p.reserved, p.egrBusy, p.paused, p.down, p.txPause = ps.reserved, ps.egrBusy, ps.paused, ps.down, ps.txPause
+	}
+	s.holRot, s.fwdInFlight, s.dropTotal = st.holRot, st.fwdInFlight, st.dropTotal
+}

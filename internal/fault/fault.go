@@ -69,9 +69,9 @@ func Kinds() []Kind {
 // over one fault kind. Start is absolute simulated time from engine start
 // (time 0 — i.e. it counts from the beginning of warmup).
 type Window struct {
-	Kind       Kind    `json:"kind"`
-	StartNs    int64   `json:"start_ns"`
-	DurationNs int64   `json:"duration_ns"`
+	Kind       Kind  `json:"kind"`
+	StartNs    int64 `json:"start_ns"`
+	DurationNs int64 `json:"duration_ns"`
 	// Magnitude is kind-specific: a timing multiplier (>= 1) for
 	// DRAMThrottle and LaneDegrade, a held-credit fraction in (0, 1] for
 	// IIOStarve, unused otherwise. 0 means the kind's default.
@@ -291,6 +291,7 @@ func NewInjector(eng *sim.Engine, s Schedule) *Injector {
 	in := &Injector{eng: eng, schedule: n}
 	in.applyFn = in.applyEvent
 	in.clearFn = in.clearEvent
+	eng.Register(in)
 	return in
 }
 
@@ -420,4 +421,20 @@ func (in *Injector) dispatch(w *Window, apply bool) {
 			l.FaultSetLineMult(mult)
 		}
 	}
+}
+
+// injectorState is the snapshot of an Injector. The schedule and target
+// lists are construction-time data; only the window accounting moves.
+type injectorState struct {
+	active  int
+	started bool
+}
+
+// SaveState implements sim.Stateful.
+func (in *Injector) SaveState() any { return injectorState{active: in.active, started: in.started} }
+
+// LoadState implements sim.Stateful.
+func (in *Injector) LoadState(state any) {
+	st := state.(injectorState)
+	in.active, in.started = st.active, st.started
 }

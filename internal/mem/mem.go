@@ -82,6 +82,21 @@ type Request struct {
 	TIssue    sim.Time // issued to a DRAM bank
 	TBurst    sim.Time // data burst completed on the memory channel
 	TDone     sim.Time // domain credit replenished
+
+	// coord caches the Mapper decode of Addr. Addr never changes after
+	// creation and a request reaches exactly one memory controller, so the
+	// decode is stable; the FR-FCFS scan re-reads it every scheduling pass.
+	coord    Coord
+	hasCoord bool
+}
+
+// MapCoord returns m.Map(r.Addr), memoized in the request.
+func (r *Request) MapCoord(m *Mapper) Coord {
+	if !r.hasCoord {
+		r.coord = m.Map(r.Addr)
+		r.hasCoord = true
+	}
+	return r.coord
 }
 
 // Latency reports TDone - TAlloc, the full domain residency of the request.
@@ -97,4 +112,45 @@ func (g *IDGen) Next() uint64 { g.next++; return g.next }
 // CHA directly, or a NUMA router that forwards to the home socket's CHA.
 type Submitter interface {
 	Submit(r *Request)
+}
+
+// SaveState implements sim.Stateful: a request rewinds by restoring its full
+// struct value in place (same object, same Done closure, earlier timestamps).
+func (r *Request) SaveState() any { return *r }
+
+// LoadState implements sim.Stateful.
+func (r *Request) LoadState(state any) { *r = state.(Request) }
+
+// SaveState implements sim.Stateful.
+func (g *IDGen) SaveState() any { return g.next }
+
+// LoadState implements sim.Stateful.
+func (g *IDGen) LoadState(state any) { g.next = state.(uint64) }
+
+// QueueState captures a queue of in-flight requests for snapshotting. The
+// pointers identify the live objects (their Done closures and the references
+// other components hold stay valid across a restore); the values hold the
+// state each object is rewound to.
+type QueueState struct {
+	Ptrs []*Request
+	Vals []Request
+}
+
+// SaveQueue snapshots a request queue.
+func SaveQueue(q []*Request) QueueState {
+	s := QueueState{Ptrs: append([]*Request(nil), q...), Vals: make([]Request, len(q))}
+	for i, r := range q {
+		s.Vals[i] = *r
+	}
+	return s
+}
+
+// Restore rewinds every captured request in place and rebuilds the queue into
+// dst (reusing its backing array).
+func (s QueueState) Restore(dst []*Request) []*Request {
+	dst = append(dst[:0], s.Ptrs...)
+	for i, r := range dst {
+		*r = s.Vals[i]
+	}
+	return dst
 }

@@ -101,6 +101,7 @@ type Storage struct {
 	free     []*request // retired requests, recycled with their done closures
 	arming   int        // requests waiting out DeviceDelay
 	waiting  bool
+	started  bool   // any request ever armed (read by the audit invariant)
 	wake     func() // bound credit-wait callback, created once
 	stats    *Stats
 }
@@ -120,18 +121,20 @@ func New(eng *sim.Engine, cfg Config, io *iio.IIO, origin int) *Storage {
 			Lines:    telemetry.NewCounter(eng),
 		},
 	}
+	eng.Register(s)
 	s.wake = func() { s.waiting = false; s.pump() }
 	if aud := cfg.Audit; aud.Enabled() {
 		domain := fmt.Sprintf("periph/dev%d", origin)
-		started := false
 		aud.Check(domain, "queue_depth", func() (bool, string) {
 			// Before Start fires, no requests exist yet; afterwards every
 			// queue-depth slot is either arming or active (conservation).
+			// The started flag lives on the Storage (not in this closure) so
+			// snapshot restore rewinds it with the rest of the device state.
 			n := s.arming + len(s.active)
-			if n == 0 && !started {
+			if n == 0 && !s.started {
 				return true, ""
 			}
-			started = true
+			s.started = true
 			if n != cfg.QueueDepth {
 				return false, fmt.Sprintf("arming=%d active=%d != QueueDepth=%d", s.arming, len(s.active), cfg.QueueDepth)
 			}
@@ -174,6 +177,7 @@ func armedEvent(arg any) {
 // armRequest starts the device-internal latency for one request, then makes
 // it issuable.
 func (s *Storage) armRequest() {
+	s.started = true
 	s.arming++
 	s.eng.AfterFunc(s.cfg.DeviceDelay, armedEvent, s)
 }
@@ -235,4 +239,47 @@ func (s *Storage) lineDone(req *request) {
 		s.armRequest()
 	}
 	s.pump()
+}
+
+// requestState rewinds one pooled request in place.
+type requestState struct {
+	toIssue, toComplete int
+}
+
+// storageState is the snapshot of a Storage device.
+type storageState struct {
+	nextLine   int64
+	active     []*request
+	activeVals []requestState
+	free       []*request
+	arming     int
+	waiting    bool
+	started    bool
+}
+
+// SaveState implements sim.Stateful.
+func (s *Storage) SaveState() any {
+	st := storageState{
+		nextLine: s.nextLine,
+		active:   append([]*request(nil), s.active...),
+		free:     append([]*request(nil), s.free...),
+		arming:   s.arming,
+		waiting:  s.waiting,
+		started:  s.started,
+	}
+	for _, r := range s.active {
+		st.activeVals = append(st.activeVals, requestState{toIssue: r.toIssue, toComplete: r.toComplete})
+	}
+	return st
+}
+
+// LoadState implements sim.Stateful.
+func (s *Storage) LoadState(state any) {
+	st := state.(storageState)
+	s.nextLine, s.arming, s.waiting, s.started = st.nextLine, st.arming, st.waiting, st.started
+	s.active = append(s.active[:0], st.active...)
+	for i, r := range s.active {
+		r.toIssue, r.toComplete = st.activeVals[i].toIssue, st.activeVals[i].toComplete
+	}
+	s.free = append(s.free[:0], st.free...)
 }

@@ -7,12 +7,38 @@
 // order, so two events scheduled for the same instant run in scheduling
 // order, making whole-simulation runs fully deterministic for a given seed.
 //
-// The engine is allocation-free in steady state: events live in a flat,
-// engine-owned 4-ary min-heap (no container/heap interface boxing), and the
-// AtFunc/AfterFunc path carries callbacks as a (func(arg any), arg) pair so
-// hot components schedule with a long-lived handler plus a pooled or
-// already-allocated argument instead of a fresh closure. At/After remain as
-// thin wrappers for cold call sites.
+// The engine is allocation-free in steady state and its scheduling structure
+// is split in three:
+//
+//   - a flat, pointer-free 4-ary min-heap of (at, seq, slot) nodes — sifts
+//     move 24-byte scalar records and never touch a pointer, so they incur
+//     no GC write barriers;
+//   - a side slot table carrying each event's (fn, arg) pair, indexed by the
+//     node's slot id, with a LIFO free list;
+//   - a same-instant FIFO ring for events scheduled at exactly the current
+//     time (a large fraction of all pushes: completions that immediately
+//     kick a scheduler). Those never need heap ordering — within one
+//     instant, seq order is insertion order — so they bypass the heap
+//     entirely.
+//
+// The slot indirection also gives the engine true decrease-key: a Waker that
+// wants an earlier callback reschedules its existing event in place instead
+// of pushing a superseding duplicate and letting the stale one fire as a
+// no-op. The AtFunc/AfterFunc path carries callbacks as a (func(arg any),
+// arg) pair so hot components schedule with a long-lived handler plus a
+// pooled or already-allocated argument instead of a fresh closure. At/After
+// remain as thin wrappers for cold call sites.
+//
+// # Snapshots
+//
+// Engine.Snapshot captures the full scheduling state — clock, sequence
+// counter, heap, FIFO, slot table — plus the state of every registered
+// Stateful component, and Engine.Restore writes it back in place so the same
+// object graph resumes from the captured instant. Because restore is
+// in-place, event callbacks (bound methods, closures) stay valid: they point
+// at the same components, whose state has been rewound. Event arguments that
+// themselves carry mutable state (an in-flight request, a pooled completion
+// record) implement Stateful and are captured by walking the live slots.
 package sim
 
 import "fmt"
@@ -55,28 +81,75 @@ func (t Time) String() string {
 // dispatchers) with the per-event state carried in arg.
 type EventFunc func(arg any)
 
-type event struct {
-	at  Time
-	seq uint64
+// Stateful is the save/load contract every stateful component implements to
+// participate in engine snapshots. SaveState returns an opaque deep copy of
+// the component's mutable state; LoadState writes that copy back into the
+// same component. Components register at construction via Engine.Register;
+// event arguments (requests, pooled completion records) implement Stateful
+// without registering — the engine captures them by walking live events.
+type Stateful interface {
+	SaveState() any
+	LoadState(state any)
+}
+
+// node is one heap entry: pointer-free so sifts never incur GC write
+// barriers. slot indexes the engine's side table holding (fn, arg).
+type node struct {
+	at   Time
+	seq  uint64
+	slot int32
+}
+
+// eslot carries an event's callback and argument, referenced by slot id.
+type eslot struct {
 	fn  EventFunc
 	arg any
 }
+
+// fent is one same-instant FIFO entry; its timestamp is the engine's fifoAt.
+type fent struct {
+	seq  uint64
+	slot int32
+}
+
+// pos sentinels for slots not resident in the heap.
+const (
+	posFIFO int32 = -1 // slot queued in the same-instant FIFO
+	posFree int32 = -2 // slot on the free list
+)
 
 // Engine is a single-threaded discrete-event scheduler.
 //
 // The zero value is ready to use. Engines are not safe for concurrent use;
 // the simulator is deliberately single-threaded so that runs are reproducible.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events []event // flat 4-ary min-heap ordered by (at, seq)
-	nRun   uint64
+	now  Time
+	seq  uint64
+	nRun uint64
+
+	nodes []node  // flat 4-ary min-heap ordered by (at, seq)
+	slots []eslot // slot id -> (fn, arg)
+	free  []int32 // LIFO free list of slot ids
+	pos   []int32 // slot id -> heap index, posFIFO, or posFree
+
+	// Same-instant FIFO: events scheduled at exactly the current time, in
+	// insertion (= seq) order. The FIFO always drains before the clock
+	// advances, so every entry shares the timestamp fifoAt == now.
+	fifo     []fent // power-of-two ring
+	fifoHead int
+	fifoLen  int
+	fifoAt   Time
 
 	// Event-cadence hook (see SetEventHook). hook == nil is the common case
 	// and costs Step a single untaken branch.
 	hook      func()
 	hookEvery uint64
 	hookLeft  uint64
+
+	// regs holds every registered Stateful in registration order; snapshots
+	// save and restore them positionally, so construction order (which is
+	// deterministic) defines the layout.
+	regs []Stateful
 }
 
 // New returns a fresh engine with the clock at zero.
@@ -89,7 +162,12 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Processed() uint64 { return e.nRun }
 
 // Pending reports the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.nodes) + e.fifoLen }
+
+// Register adds a Stateful component to the engine's snapshot set.
+// Registration order must be deterministic (it is, when components are
+// constructed in program order) because snapshots restore positionally.
+func (e *Engine) Register(s Stateful) { e.regs = append(e.regs, s) }
 
 // The heap is 4-ary: children of node i are 4i+1..4i+4, parent (i-1)/4.
 // Compared to a binary heap this halves tree depth (fewer cache lines per
@@ -99,71 +177,257 @@ func (e *Engine) Pending() int { return len(e.events) }
 // in the same sequence, so the layout change cannot perturb simulation
 // results.
 
-// siftUp moves the event at index i toward the root until its parent is
-// not after it.
+// nodeLess orders nodes by (at, seq). The form is chosen so the compiler
+// can lower it to flag arithmetic without a branch: sift loops spend most
+// of their cycles on data-dependent comparisons the predictor cannot learn.
+func nodeLess(a, b *node) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// siftUp moves the node at index i toward the root until its parent is not
+// after it, keeping pos in sync.
 func (e *Engine) siftUp(i int) {
-	h := e.events
-	ev := h[i]
+	h, pos := e.nodes, e.pos
+	nd := h[i]
 	for i > 0 {
 		p := (i - 1) / 4
-		if h[p].at < ev.at || (h[p].at == ev.at && h[p].seq < ev.seq) {
+		if nodeLess(&h[p], &nd) {
 			break
 		}
 		h[i] = h[p]
+		pos[h[i].slot] = int32(i)
 		i = p
 	}
-	h[i] = ev
+	h[i] = nd
+	pos[nd.slot] = int32(i)
 }
 
-// siftDown moves the event at index i toward the leaves until no child is
-// before it.
+// siftDown moves the node at index i toward the leaves until no child is
+// before it, keeping pos in sync.
 func (e *Engine) siftDown(i int) {
-	h := e.events
+	h, pos := e.nodes, e.pos
 	n := len(h)
-	ev := h[i]
+	nd := h[i]
 	for {
 		c := 4*i + 1
 		if c >= n {
 			break
 		}
-		// Find the earliest of up to four children.
-		end := c + 4
-		if end > n {
-			end = n
-		}
+		// Find the earliest of up to four children. The full-fan case is
+		// unrolled as a pairwise-min tree of branchless selects.
 		m := c
-		for c++; c < end; c++ {
-			if h[c].at < h[m].at || (h[c].at == h[m].at && h[c].seq < h[m].seq) {
-				m = c
+		if c+3 < n {
+			a, b := c, c+1
+			if nodeLess(&h[b], &h[a]) {
+				a = b
+			}
+			x, y := c+2, c+3
+			if nodeLess(&h[y], &h[x]) {
+				x = y
+			}
+			if nodeLess(&h[x], &h[a]) {
+				a = x
+			}
+			m = a
+		} else {
+			for cc := c + 1; cc < n; cc++ {
+				if nodeLess(&h[cc], &h[m]) {
+					m = cc
+				}
 			}
 		}
-		if ev.at < h[m].at || (ev.at == h[m].at && ev.seq < h[m].seq) {
+		if nodeLess(&nd, &h[m]) {
 			break
 		}
 		h[i] = h[m]
+		pos[h[i].slot] = int32(i)
 		i = m
 	}
-	h[i] = ev
+	h[i] = nd
+	pos[nd.slot] = int32(i)
 }
 
-// push adds an event, reusing the backing array across the run.
-func (e *Engine) push(ev event) {
-	e.events = append(e.events, ev)
-	e.siftUp(len(e.events) - 1)
-}
-
-// pop removes and returns the earliest event.
-func (e *Engine) pop() event {
-	h := e.events
-	ev := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h[n] = event{} // release fn/arg so the GC can reclaim them
-	e.events = h[:n]
-	if n > 1 {
-		e.siftDown(0)
+// alloc claims a slot for (fn, arg), reusing the free list.
+func (e *Engine) alloc(fn EventFunc, arg any) int32 {
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free = e.free[:n-1]
+		e.slots[s] = eslot{fn: fn, arg: arg}
+		return s
 	}
-	return ev
+	e.slots = append(e.slots, eslot{fn: fn, arg: arg})
+	e.pos = append(e.pos, posFree)
+	return int32(len(e.slots) - 1)
+}
+
+// release returns a slot to the free list, dropping fn/arg for the GC.
+func (e *Engine) release(s int32) {
+	e.slots[s] = eslot{}
+	e.pos[s] = posFree
+	e.free = append(e.free, s)
+}
+
+// fifoPush appends a slot to the same-instant ring.
+func (e *Engine) fifoPush(seq uint64, slot int32) {
+	if e.fifoLen == len(e.fifo) {
+		e.fifoGrow()
+	}
+	e.fifo[(e.fifoHead+e.fifoLen)&(len(e.fifo)-1)] = fent{seq: seq, slot: slot}
+	e.fifoLen++
+	e.pos[slot] = posFIFO
+}
+
+// fifoGrow doubles the ring, unwrapping it into the new backing array.
+func (e *Engine) fifoGrow() {
+	n := len(e.fifo) * 2
+	if n == 0 {
+		n = 64
+	}
+	nf := make([]fent, n)
+	for i := 0; i < e.fifoLen; i++ {
+		nf[i] = e.fifo[(e.fifoHead+i)&(len(e.fifo)-1)]
+	}
+	e.fifo = nf
+	e.fifoHead = 0
+}
+
+// schedule places (fn, arg) at absolute time t and returns its slot id.
+func (e *Engine) schedule(t Time, fn EventFunc, arg any) int32 {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	s := e.alloc(fn, arg)
+	if t == e.now {
+		// Same-instant: the FIFO drains before the clock advances, so all
+		// live entries share at == now and insertion order is seq order.
+		e.fifoAt = t
+		e.fifoPush(e.seq, s)
+		return s
+	}
+	e.nodes = append(e.nodes, node{at: t, seq: e.seq, slot: s})
+	e.siftUp(len(e.nodes) - 1)
+	return s
+}
+
+// scheduleSeq places (fn, arg) at time t under an explicit sequence number —
+// the Waker's stale-slot adoption path (see waker.go). A fresh sequence
+// number is still consumed, exactly as a plain push would, so every other
+// event's numbering is unaffected. The node always enters the heap: an
+// adopted (old, small) sequence number would violate the FIFO's
+// insertion-order invariant, and the pop merge handles an at==now heap node
+// correctly.
+func (e *Engine) scheduleSeq(t Time, seq uint64, fn EventFunc, arg any) (int32, uint64) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	fresh := e.seq
+	s := e.alloc(fn, arg)
+	e.nodes = append(e.nodes, node{at: t, seq: seq, slot: s})
+	e.siftUp(len(e.nodes) - 1)
+	return s, fresh
+}
+
+// reschedule moves a live slot to an earlier-or-equal time t — the
+// decrease-key behind Waker coalescing. seq is the sequence number the moved
+// event assumes; a fresh one is consumed regardless (callers pass either the
+// fresh number, via freshSeq semantics, or an adopted stale one). The slot
+// must be heap-resident; same-instant FIFO entries are never rescheduled
+// (nothing can be earlier than now).
+func (e *Engine) reschedule(s int32, t Time, seq uint64) uint64 {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: rescheduling event to %v before now %v", t, e.now))
+	}
+	i := e.pos[s]
+	if i < 0 {
+		panic("sim: reschedule of a non-heap event")
+	}
+	e.seq++
+	fresh := e.seq
+	if seq == useFreshSeq {
+		seq = fresh
+	}
+	if t == e.now && seq == fresh {
+		// Move heap -> FIFO: remove node i, then enqueue at the tail (the
+		// fresh seq is the largest live one, so FIFO order is preserved).
+		e.heapRemove(int(i))
+		e.fifoAt = t
+		e.fifoPush(seq, s)
+		return fresh
+	}
+	// The new key is strictly smaller than the old one — t < the node's
+	// current time (an equal-or-later request is absorbed by the caller), and
+	// the FIFO path above covers the only same-instant case — so the node can
+	// only move toward the root.
+	e.nodes[i].at = t
+	e.nodes[i].seq = seq
+	e.siftUp(int(i))
+	return fresh
+}
+
+// useFreshSeq asks reschedule to use the freshly consumed sequence number.
+const useFreshSeq = ^uint64(0)
+
+// heapRemove deletes the node at index i, preserving the heap invariant.
+func (e *Engine) heapRemove(i int) {
+	h := e.nodes
+	n := len(h) - 1
+	if i != n {
+		h[i] = h[n]
+		e.pos[h[i].slot] = int32(i)
+	}
+	e.nodes = h[:n]
+	if i < n {
+		e.siftUp(i)
+		e.siftDown(int(e.pos[h[i].slot]))
+	}
+}
+
+// popNext removes and returns the earliest event's (at, slot). The FIFO and
+// the heap are merged by (at, seq): heap nodes at the FIFO's instant always
+// carry smaller sequence numbers (they were scheduled before the clock
+// reached it), so the comparison is exact, not heuristic.
+func (e *Engine) popNext() (Time, int32, bool) {
+	if e.fifoLen > 0 {
+		if len(e.nodes) > 0 {
+			nd := e.nodes[0]
+			f := e.fifo[e.fifoHead]
+			if nd.at < e.fifoAt || (nd.at == e.fifoAt && nd.seq < f.seq) {
+				e.heapRemove(0)
+				return nd.at, nd.slot, true
+			}
+		}
+		f := e.fifo[e.fifoHead]
+		e.fifoHead = (e.fifoHead + 1) & (len(e.fifo) - 1)
+		e.fifoLen--
+		return e.fifoAt, f.slot, true
+	}
+	if len(e.nodes) == 0 {
+		return 0, 0, false
+	}
+	nd := e.nodes[0]
+	e.heapRemove(0)
+	return nd.at, nd.slot, true
+}
+
+// peekAt reports the earliest pending timestamp.
+func (e *Engine) peekAt() (Time, bool) {
+	switch {
+	case e.fifoLen > 0 && len(e.nodes) > 0:
+		if e.nodes[0].at < e.fifoAt {
+			return e.nodes[0].at, true
+		}
+		return e.fifoAt, true
+	case e.fifoLen > 0:
+		return e.fifoAt, true
+	case len(e.nodes) > 0:
+		return e.nodes[0].at, true
+	}
+	return 0, false
 }
 
 // AtFunc schedules fn(arg) at absolute time t. This is the allocation-free
@@ -172,16 +436,10 @@ func (e *Engine) pop() event {
 // dispatcher) and arg a pointer the caller already owns, so steady-state
 // scheduling performs no heap allocation. Scheduling in the past panics: it
 // always indicates a component bug, and silently clamping would hide it.
-func (e *Engine) AtFunc(t Time, fn EventFunc, arg any) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
-	}
-	e.seq++
-	e.push(event{at: t, seq: e.seq, fn: fn, arg: arg})
-}
+func (e *Engine) AtFunc(t Time, fn EventFunc, arg any) { e.schedule(t, fn, arg) }
 
 // AfterFunc schedules fn(arg) d picoseconds from now. Negative d panics.
-func (e *Engine) AfterFunc(d Time, fn EventFunc, arg any) { e.AtFunc(e.now+d, fn, arg) }
+func (e *Engine) AfterFunc(d Time, fn EventFunc, arg any) { e.schedule(e.now+d, fn, arg) }
 
 // callThunk dispatches the compatibility path: arg is the caller's func().
 func callThunk(arg any) { arg.(func())() }
@@ -190,10 +448,10 @@ func callThunk(arg any) { arg.(func())() }
 // AtFunc for cold call sites (experiment setup, tests); hot paths should
 // use AtFunc with a reusable handler instead of allocating a closure per
 // event.
-func (e *Engine) At(t Time, fn func()) { e.AtFunc(t, callThunk, fn) }
+func (e *Engine) At(t Time, fn func()) { e.schedule(t, callThunk, fn) }
 
 // After schedules fn to run d picoseconds from now. Negative d panics.
-func (e *Engine) After(d Time, fn func()) { e.AtFunc(e.now+d, callThunk, fn) }
+func (e *Engine) After(d Time, fn func()) { e.schedule(e.now+d, callThunk, fn) }
 
 // SetEventHook installs fn to run after every `every`-th executed event,
 // between events (never inside one). The invariant auditor uses this as its
@@ -210,13 +468,15 @@ func (e *Engine) SetEventHook(every uint64, fn func()) {
 // Step executes the earliest pending event. It reports false if no events
 // remain.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	at, s, ok := e.popNext()
+	if !ok {
 		return false
 	}
-	ev := e.pop()
-	e.now = ev.at
+	e.now = at
 	e.nRun++
-	ev.fn(ev.arg)
+	fn, arg := e.slots[s].fn, e.slots[s].arg
+	e.release(s)
+	fn(arg)
 	if e.hook != nil {
 		e.hookLeft--
 		if e.hookLeft == 0 {
@@ -236,10 +496,122 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= t, then advances the clock to
 // t. Events scheduled beyond t remain pending.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 && e.events[0].at <= t {
+	for {
+		at, ok := e.peekAt()
+		if !ok || at > t {
+			break
+		}
 		e.Step()
 	}
 	if t > e.now {
 		e.now = t
+	}
+}
+
+// Snapshot is an opaque capture of an engine's full state at one instant:
+// scheduler internals, every registered component's state, and the state of
+// Stateful event arguments in flight. Restore writes it back in place.
+type Snapshot struct {
+	now  Time
+	seq  uint64
+	nRun uint64
+
+	nodes []node
+	slots []eslot
+	free  []int32
+	pos   []int32
+
+	fifo     []fent // unwrapped: head at index 0
+	fifoAt   Time
+	hookLeft uint64
+
+	regStates []any
+
+	// argSlots/argStates capture Stateful event arguments by slot id. A
+	// pointer appearing in several live slots (or also inside a component
+	// queue) is saved more than once; the copies are taken at the same
+	// instant, so restoring them is idempotent.
+	argSlots  []int32
+	argStates []any
+}
+
+// Snapshot captures the engine and every registered component. The capture
+// is a deep copy: continuing to run the engine does not disturb it.
+func (e *Engine) Snapshot() *Snapshot {
+	s := &Snapshot{
+		now:      e.now,
+		seq:      e.seq,
+		nRun:     e.nRun,
+		nodes:    append([]node(nil), e.nodes...),
+		slots:    append([]eslot(nil), e.slots...),
+		free:     append([]int32(nil), e.free...),
+		pos:      append([]int32(nil), e.pos...),
+		fifoAt:   e.fifoAt,
+		hookLeft: e.hookLeft,
+	}
+	s.fifo = make([]fent, e.fifoLen)
+	for i := 0; i < e.fifoLen; i++ {
+		s.fifo[i] = e.fifo[(e.fifoHead+i)&(len(e.fifo)-1)]
+	}
+	s.regStates = make([]any, len(e.regs))
+	for i, r := range e.regs {
+		s.regStates[i] = r.SaveState()
+	}
+	// Capture Stateful arguments of live events (heap + FIFO): in-flight
+	// requests and pooled completion records whose contents the continued
+	// run will overwrite.
+	saveArg := func(slot int32) {
+		if st, ok := e.slots[slot].arg.(Stateful); ok {
+			s.argSlots = append(s.argSlots, slot)
+			s.argStates = append(s.argStates, st.SaveState())
+		}
+	}
+	for _, nd := range e.nodes {
+		saveArg(nd.slot)
+	}
+	for _, f := range s.fifo {
+		saveArg(f.slot)
+	}
+	return s
+}
+
+// Restore rewinds the engine and every registered component to the captured
+// instant. It must be called on the engine that produced the snapshot (the
+// capture holds positional component state). The snapshot survives the
+// restore and can be restored again.
+func (e *Engine) Restore(s *Snapshot) {
+	if len(s.regStates) != len(e.regs) {
+		panic(fmt.Sprintf("sim: restore with %d component states onto %d registered components",
+			len(s.regStates), len(e.regs)))
+	}
+	e.now = s.now
+	e.seq = s.seq
+	e.nRun = s.nRun
+	e.nodes = append(e.nodes[:0], s.nodes...)
+	e.slots = append(e.slots[:0], s.slots...)
+	e.free = append(e.free[:0], s.free...)
+	e.pos = append(e.pos[:0], s.pos...)
+	e.fifo = append(e.fifo[:0], s.fifo...)
+	// The ring must stay power-of-two sized for the mask arithmetic; restore
+	// re-rounds it with head at 0.
+	n := 64
+	for n < len(s.fifo) {
+		n *= 2
+	}
+	if cap(e.fifo) >= n {
+		e.fifo = e.fifo[:n]
+	} else {
+		e.fifo = make([]fent, n)
+		copy(e.fifo, s.fifo)
+	}
+	e.fifoHead = 0
+	e.fifoLen = len(s.fifo)
+	e.fifoAt = s.fifoAt
+	e.hookLeft = s.hookLeft
+	for i, r := range e.regs {
+		r.LoadState(s.regStates[i])
+	}
+	for i, slot := range s.argSlots {
+		e.slots[slot].arg.(Stateful).LoadState(s.argStates[i])
 	}
 }

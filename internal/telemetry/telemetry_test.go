@@ -464,3 +464,57 @@ func TestLatencyDirectSamplingResetPreservesPending(t *testing.T) {
 		t.Fatalf("AvgNanosDirect = %v, want 80 (full residency across Reset)", got)
 	}
 }
+
+// TestSamplesQuantileNearestRank pins the nearest-rank definition on the
+// edge cases the old floor-truncating index got wrong: a single sample, two
+// samples at the upper quantiles, and q just below 1 over a small window.
+func TestSamplesQuantileNearestRank(t *testing.T) {
+	one := &Samples{}
+	one.Add(7)
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := one.Quantile(q); got != 7 {
+			t.Fatalf("n=1 Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+
+	two := &Samples{}
+	two.Add(10)
+	two.Add(20)
+	// p50 of two samples is the first rank (ceil(0.5*2) = 1).
+	if got := two.Quantile(0.5); got != 10 {
+		t.Fatalf("n=2 Quantile(0.5) = %v, want 10", got)
+	}
+	// Anything above 0.5 needs the second rank; the floored index returned
+	// the lower sample for every q < 1.
+	for _, q := range []float64{0.51, 0.75, 0.99, 0.999} {
+		if got := two.Quantile(q); got != 20 {
+			t.Fatalf("n=2 Quantile(%v) = %v, want 20", q, got)
+		}
+	}
+
+	// q just below 1: p99 over 50 samples must be the maximum (rank
+	// ceil(0.99*50) = 50), not the 49th rank.
+	fifty := &Samples{}
+	for i := 1; i <= 50; i++ {
+		fifty.Add(float64(i))
+	}
+	if got := fifty.Quantile(0.99); got != 50 {
+		t.Fatalf("n=50 Quantile(0.99) = %v, want 50", got)
+	}
+	if got := fifty.Quantile(0.98); got != 49 {
+		t.Fatalf("n=50 Quantile(0.98) = %v, want 49", got)
+	}
+	// The median index is unchanged by the redefinition for every n (ceil
+	// of n/2 equals the old floored midpoint): pin one even- and one odd-
+	// sized window so golden outputs keyed to medians stay stable.
+	if got := fifty.Quantile(0.5); got != 25 {
+		t.Fatalf("n=50 Quantile(0.5) = %v, want 25", got)
+	}
+	odd := &Samples{}
+	for i := 1; i <= 5; i++ {
+		odd.Add(float64(i))
+	}
+	if got := odd.Quantile(0.5); got != 3 {
+		t.Fatalf("n=5 Quantile(0.5) = %v, want 3", got)
+	}
+}
