@@ -7,22 +7,34 @@
 //	hostnetd [-addr :8080] [-queue 64] [-workers 2] [-parallel N]
 //	         [-job-timeout 15m] [-drain-timeout 30s] [-cache-bytes N]
 //	         [-max-window 10ms] [-audit] [-version]
+//	         [-store DIR] [-store-bytes N] [-tenant-quota N]
+//	         [-fleet URL,URL,...] [-fleet-inflight N] [-warm names|all]
 //
 // Endpoints:
 //
 //	POST   /jobs              submit a job spec (429 + Retry-After when full)
+//	POST   /jobs/batch        submit a suite of specs, per-item outcomes
 //	GET    /jobs              list known jobs
 //	GET    /jobs/{id}         job status
 //	GET    /jobs/{id}/result  result bytes (?wait=true blocks until done)
 //	GET    /jobs/{id}/stream  NDJSON progress stream
 //	DELETE /jobs/{id}         cancel
 //	GET    /experiments       valid experiment names
-//	GET    /healthz           liveness + drain state
+//	GET    /healthz           liveness + drain state + store/fleet readiness
 //	GET    /metrics           Prometheus text format
 //	GET    /version           build info
 //
+// With -store DIR, results persist on disk by content address and survive
+// restarts; a fleet of daemons pointed at one directory shares them. With
+// -fleet, the daemon becomes a sharding coordinator: splittable sweeps are
+// fanned out point-by-point to the listed worker daemons and merged into
+// bytes identical to a single-node run. -warm pre-simulates the named
+// experiment suites (comma-separated, or "all") in the background so later
+// submissions hit the cache.
+//
 // On SIGINT/SIGTERM the daemon stops admission, drains accepted jobs for
-// -drain-timeout, cancels whatever remains, and exits 0 on a clean drain.
+// -drain-timeout, cancels whatever remains (flushing completed results to
+// the store first), and exits 0 on a clean drain.
 package main
 
 import (
@@ -34,10 +46,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/exp"
+	"repro/internal/fleet"
 	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/version"
 )
 
@@ -54,6 +70,12 @@ func realMain(args []string) int {
 	cacheBytes := fs.Int64("cache-bytes", 256<<20, "result cache byte cap")
 	maxWindow := fs.Duration("max-window", 10*time.Millisecond, "max simulated window/warmup per job (<0 disables)")
 	audit := fs.Bool("audit", false, "run simulator invariant audits inside jobs")
+	storeDir := fs.String("store", "", "persistent result store directory (empty disables)")
+	storeBytes := fs.Int64("store-bytes", 1<<30, "persistent store payload byte cap (<0 disables)")
+	fleetURLs := fs.String("fleet", "", "comma-separated worker base URLs: run as sharding coordinator")
+	fleetInflight := fs.Int("fleet-inflight", 2, "max in-flight points per fleet worker")
+	tenantQuota := fs.Int("tenant-quota", 0, "max admitted jobs per X-Tenant header (0 disables)")
+	warm := fs.String("warm", "", "comma-separated experiment names (or 'all') to pre-warm after startup")
 	ver := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -63,7 +85,7 @@ func realMain(args []string) int {
 		return 0
 	}
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		QueueDepth:  *queue,
 		Workers:     *workers,
 		Parallelism: *parallel,
@@ -71,7 +93,39 @@ func realMain(args []string) int {
 		CacheBytes:  *cacheBytes,
 		MaxWindowNs: maxWindow.Nanoseconds(),
 		Audit:       *audit,
-	})
+		TenantQuota: *tenantQuota,
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Config{MaxBytes: *storeBytes})
+		if err != nil {
+			log.Printf("opening store: %v", err)
+			return 1
+		}
+		cfg.Store = st
+		log.Printf("store %s: %d entries, %d payload bytes", st.Dir(), st.Len(), st.Bytes())
+	}
+	if *fleetURLs != "" {
+		var ws []fleet.Worker
+		for _, u := range strings.Split(*fleetURLs, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				ws = append(ws, fleet.Worker{URL: u, MaxInFlight: *fleetInflight})
+			}
+		}
+		coord, err := fleet.New(fleet.Config{Workers: ws})
+		if err != nil {
+			log.Printf("fleet: %v", err)
+			return 1
+		}
+		cfg.Fleet = coord
+		log.Printf("coordinator mode: %d workers", coord.Workers())
+	}
+	warmSuite, err := warmSpecs(*warm)
+	if err != nil {
+		log.Printf("-warm: %v", err)
+		return 2
+	}
+
+	srv := serve.New(cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -80,6 +134,15 @@ func realMain(args []string) int {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("hostnetd %s listening on %s (queue %d, workers %d)", version.Get(), *addr, *queue, *workers)
+
+	if len(warmSuite) > 0 {
+		// Warm in the background: the daemon serves immediately, and specs
+		// already in the store complete for free.
+		go func() {
+			done, failed := srv.Warm(ctx, warmSuite)
+			log.Printf("warm: %d done, %d failed of %d specs", done, failed, len(warmSuite))
+		}()
+	}
 
 	select {
 	case err := <-errc:
@@ -102,4 +165,33 @@ func realMain(args []string) int {
 	}
 	log.Printf("drained cleanly")
 	return 0
+}
+
+// warmSpecs expands the -warm argument into default-spec jobs: one per
+// named experiment, or the full figure suite for "all".
+func warmSpecs(arg string) ([]exp.Spec, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	known := exp.Experiments()
+	names := strings.Split(arg, ",")
+	if strings.TrimSpace(arg) == "all" {
+		names = known
+	}
+	valid := make(map[string]bool, len(known))
+	for _, n := range known {
+		valid[n] = true
+	}
+	var specs []exp.Spec
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if !valid[n] {
+			return nil, fmt.Errorf("unknown experiment %q (see GET /experiments)", n)
+		}
+		specs = append(specs, exp.Spec{Experiment: n})
+	}
+	return specs, nil
 }

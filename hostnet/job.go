@@ -44,3 +44,19 @@ func WithContext(opt Options, ctx context.Context) Options {
 	opt.BaseCtx = ctx
 	return opt
 }
+
+// SplitJob splits a multi-point sweep spec into one independently
+// content-addressed sub-spec per sweep point, in sweep order, or returns
+// nil when the spec is not splittable (single points, fixed figures, and
+// sweeps whose points depend on their index). Running the sub-specs
+// anywhere and merging with MergeJobResults reproduces the single-node
+// bytes exactly — the contract the fleet coordinator is built on.
+func SplitJob(spec JobSpec) []JobSpec { return spec.Points() }
+
+// MergeJobResults reassembles the per-point JobResult bytes produced by
+// running each of SplitJob's sub-specs (in order) into bytes identical to
+// a single-node RunJobJSON of the parent spec. Each part is verified
+// against its expected sub-spec hash first.
+func MergeJobResults(spec JobSpec, parts [][]byte) ([]byte, error) {
+	return exp.MergePointResults(spec, parts)
+}

@@ -32,6 +32,13 @@ type FabricSpec struct {
 	// senders converging on host 0. Default (and cap) is Hosts-1. Ignored —
 	// and cleared — when Flows is set.
 	Incast int `json:"incast,omitempty"`
+	// Degree, when nonzero, restricts the run to the single given incast
+	// degree instead of sweeping 1..Incast. This is the sub-spec form
+	// Spec.Points emits so a fleet coordinator can shard an incast sweep
+	// point-by-point; each degree is an independent simulation, so the
+	// single-degree run is bit-identical to the matching point of the full
+	// sweep. Mutually exclusive with Flows; clears Incast when set.
+	Degree int `json:"degree,omitempty"`
 	// FaultHost selects which host the spec's fault schedule targets.
 	FaultHost int `json:"fault_host,omitempty"`
 	// Flows, when non-empty, replaces the incast pattern with an explicit
@@ -78,6 +85,13 @@ func (fs FabricSpec) Normalized() FabricSpec {
 		})
 		return n
 	}
+	if fs.Degree > 0 {
+		n.Degree = fs.Degree
+		if n.Degree > n.Hosts-1 {
+			n.Degree = n.Hosts - 1
+		}
+		return n
+	}
 	n.Incast = fs.Incast
 	if n.Incast == 0 || n.Incast > n.Hosts-1 {
 		n.Incast = n.Hosts - 1
@@ -96,6 +110,12 @@ func (fs FabricSpec) Validate() error {
 	}
 	if fs.Incast < 0 {
 		return fmt.Errorf("fabric: incast %d < 0", fs.Incast)
+	}
+	if fs.Degree < 0 {
+		return fmt.Errorf("fabric: degree %d < 0", fs.Degree)
+	}
+	if fs.Degree > 0 && len(fs.Flows) > 0 {
+		return fmt.Errorf("fabric: degree and flows are mutually exclusive")
 	}
 	if fs.FaultHost < 0 || fs.FaultHost >= hosts {
 		return fmt.Errorf("fabric: fault_host %d outside [0, %d)", fs.FaultHost, hosts)
@@ -118,8 +138,11 @@ func (fs FabricSpec) Validate() error {
 }
 
 // degrees lists the sweep points: incast degrees 1..Incast, or a single
-// point when an explicit flow matrix is given.
+// point when Degree pins one or an explicit flow matrix is given.
 func (fs FabricSpec) degrees() []int {
+	if fs.Degree > 0 {
+		return []int{fs.Degree}
+	}
 	if len(fs.Flows) > 0 {
 		srcs := map[int]bool{}
 		for _, fl := range fs.Flows {

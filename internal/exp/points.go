@@ -1,0 +1,198 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file is the sharding contract between exp.Spec and the fleet
+// coordinator (internal/fleet): Points splits a multi-point sweep spec into
+// independently canonical, independently content-addressed per-point
+// sub-specs, and MergePointResults reassembles the sub-results into bytes
+// identical to a single-node RunSpecJSON of the parent spec.
+//
+// Splitting is sound exactly when every sweep point is an independent
+// simulation whose construction does not depend on its position in the
+// sweep. That holds for quadrant, rdma, and faultsweep (points are built
+// from (quadrant, core count) alone — the shared isolated baseline each
+// sub-run recomputes is the very same deterministic simulation, so the
+// recomputed Measure is bit-equal to the shared one) and for incast (each
+// degree is its own rack; FabricSpec.Degree pins a single one). It does NOT
+// hold for ratio: its workload seeds mix in the point's index within the
+// write-fraction sweep (see RunRatioSweep), so a one-point sub-run would
+// seed differently and diverge. Fixed figures (fig1..fig29) and the
+// single-point studies are likewise not splittable. For all of those,
+// Points returns nil and a coordinator dispatches the whole spec to one
+// worker.
+//
+// A useful corollary of per-point content addressing: overlapping sweeps
+// share sub-spec hashes. `quadrant cores=[1..6]` and `quadrant cores=[4]`
+// meet at the same Cores=[4] sub-spec, so a fleet's persistent store serves
+// one sweep's points to another sweep for free.
+
+// Points splits the spec into one sub-spec per sweep point, in sweep
+// order. Each sub-spec is normalized, valid, and hashes to its own content
+// address. It returns nil when the spec is not splittable — unknown or
+// invalid specs, single-point sweeps (nothing to shard), and experiments
+// whose structure is not per-point independent (see the package comment
+// above; notably ratio, whose seeds depend on the sweep index).
+func (s Spec) Points() []Spec {
+	n := s.Normalized()
+	if n.Validate() != nil {
+		return nil
+	}
+	switch n.Experiment {
+	case "quadrant", "rdma", "faultsweep":
+		if len(n.Cores) < 2 {
+			return nil
+		}
+		out := make([]Spec, len(n.Cores))
+		for i, c := range n.Cores {
+			sub := n
+			sub.Cores = []int{c}
+			out[i] = sub.Normalized()
+		}
+		return out
+	case "incast":
+		if n.Fabric == nil || n.Fabric.Degree > 0 {
+			return nil // already a sub-spec
+		}
+		degs := n.Fabric.degrees()
+		if len(degs) < 2 {
+			return nil
+		}
+		out := make([]Spec, len(degs))
+		for i, d := range degs {
+			sub := n
+			fab := *n.Fabric
+			fab.Incast = 0
+			fab.Degree = d
+			sub.Fabric = &fab
+			out[i] = sub.Normalized()
+		}
+		return out
+	}
+	return nil
+}
+
+// resultEnvelope is the decoded form of one RunSpecJSON output: the
+// normalized spec and the raw payload, kept raw so merge can decode it into
+// the experiment's concrete type.
+type resultEnvelope struct {
+	Spec   Spec            `json:"spec"`
+	Result json.RawMessage `json:"result"`
+}
+
+// MergePointResults reassembles the per-point Result envelopes produced by
+// running each of s.Points() (in order) into the single envelope a
+// single-node RunSpecJSON(s) run produces — byte-identical, which is what
+// lets a coordinator-sharded sweep share a content-addressed store with
+// single-node runs (pinned by TestPointsMergeByteIdentical and the fleet
+// e2e test).
+//
+// Each part is verified against its expected sub-spec before merging, so a
+// worker answering with the wrong point (or a stale result) is an error,
+// not silent corruption.
+func MergePointResults(s Spec, parts [][]byte) ([]byte, error) {
+	n := s.Normalized()
+	subs := n.Points()
+	if subs == nil {
+		return nil, fmt.Errorf("merge: spec %q is not splittable", n.Experiment)
+	}
+	if len(parts) != len(subs) {
+		return nil, fmt.Errorf("merge: %d parts for %d points", len(parts), len(subs))
+	}
+	payloads := make([]json.RawMessage, len(parts))
+	for i, part := range parts {
+		var env resultEnvelope
+		if err := json.Unmarshal(part, &env); err != nil {
+			return nil, fmt.Errorf("merge: decoding part %d: %w", i, err)
+		}
+		wantHash, err := subs[i].Hash()
+		if err != nil {
+			return nil, fmt.Errorf("merge: hashing sub-spec %d: %w", i, err)
+		}
+		gotHash, err := env.Spec.Hash()
+		if err != nil || gotHash != wantHash {
+			return nil, fmt.Errorf("merge: part %d carries spec %q point %d, want sub-spec %s",
+				i, env.Spec.Experiment, i, wantHash[:12])
+		}
+		payloads[i] = env.Result
+	}
+
+	var merged any
+	var err error
+	switch n.Experiment {
+	case "quadrant":
+		merged, err = mergeSlices[QuadrantPoint](payloads)
+	case "rdma":
+		merged, err = mergeSlices[RDMAQuadrantPoint](payloads)
+	case "faultsweep":
+		merged, err = mergeFaultSweep(payloads)
+	case "incast":
+		merged, err = mergeIncast(payloads)
+	default:
+		err = fmt.Errorf("merge: experiment %q splits but has no merger", n.Experiment)
+	}
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(Result{Spec: n, Result: merged})
+	if err != nil {
+		return nil, fmt.Errorf("merge: encoding %s result: %w", n.Experiment, err)
+	}
+	return b, nil
+}
+
+// mergeSlices concatenates per-point slice payloads ([]QuadrantPoint,
+// []RDMAQuadrantPoint) in point order.
+func mergeSlices[T any](payloads []json.RawMessage) ([]T, error) {
+	out := make([]T, 0, len(payloads))
+	for i, raw := range payloads {
+		var pts []T
+		if err := json.Unmarshal(raw, &pts); err != nil {
+			return nil, fmt.Errorf("merge: decoding point %d payload: %w", i, err)
+		}
+		out = append(out, pts...)
+	}
+	return out, nil
+}
+
+// mergeFaultSweep zips per-core FaultSweep fragments back into one sweep;
+// the quadrant and schedule are common to every fragment.
+func mergeFaultSweep(payloads []json.RawMessage) (*FaultSweep, error) {
+	var out *FaultSweep
+	for i, raw := range payloads {
+		var fs FaultSweep
+		if err := json.Unmarshal(raw, &fs); err != nil {
+			return nil, fmt.Errorf("merge: decoding point %d payload: %w", i, err)
+		}
+		if out == nil {
+			head := fs
+			head.Points = nil
+			out = &head
+		}
+		out.Points = append(out.Points, fs.Points...)
+	}
+	return out, nil
+}
+
+// mergeIncast concatenates per-degree IncastSweep fragments (healthy and,
+// when present, faulted twins) in degree order.
+func mergeIncast(payloads []json.RawMessage) (*IncastSweep, error) {
+	var out *IncastSweep
+	for i, raw := range payloads {
+		var is IncastSweep
+		if err := json.Unmarshal(raw, &is); err != nil {
+			return nil, fmt.Errorf("merge: decoding point %d payload: %w", i, err)
+		}
+		if out == nil {
+			head := is
+			head.Healthy, head.Faulted = nil, nil
+			out = &head
+		}
+		out.Healthy = append(out.Healthy, is.Healthy...)
+		out.Faulted = append(out.Faulted, is.Faulted...)
+	}
+	return out, nil
+}

@@ -1,0 +1,516 @@
+// Package fleet is hostnetd's sharding coordinator: it splits a multi-point
+// sweep spec into per-point sub-specs (exp.Spec.Points), fans them out over
+// the ordinary HTTP API to a pool of worker hostnetds, and deterministically
+// merges the per-point results back into the exact bytes a single-node run
+// produces (exp.MergePointResults).
+//
+// Determinism is what makes the scheduling trivial: every sub-spec is a pure
+// function from spec to result bytes, so any worker may run any point, a
+// point may safely run twice (first answer wins, both answers are equal),
+// and a failed or slow worker's points are simply re-dispatched elsewhere.
+// There is no state to migrate and no coherence to maintain — the DCSim-style
+// scheduling problem collapses to a retry loop over an idempotent RPC.
+//
+// Dispatch policy:
+//
+//   - In-flight is bounded per worker (Worker.MaxInFlight), so one slow
+//     worker's queue never absorbs the whole sweep.
+//   - A point that fails on one worker (connection error, 5xx, 429 that
+//     persists) is retried, preferring workers that have not failed it yet,
+//     up to Config.MaxAttempts total attempts.
+//   - A point in flight longer than Config.StealAfter may be stolen: one
+//     duplicate dispatch to an idle worker, racing the original. Whichever
+//     answers first completes the point.
+//
+// The coordinator is itself stateless between runs; hostnetd composes it
+// with the serve-layer queue, cache, and store, so a coordinator-mode daemon
+// looks exactly like a worker to its clients.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// Worker names one hostnetd worker.
+type Worker struct {
+	// URL is the worker's base URL, e.g. "http://10.0.0.7:8080".
+	URL string
+	// MaxInFlight bounds concurrently dispatched points on this worker
+	// (shared across concurrent sweeps). Default 2.
+	MaxInFlight int
+}
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Workers is the pool; at least one is required.
+	Workers []Worker
+	// Client is the HTTP client used for every request. Default: a client
+	// with no overall timeout (result waits are long-polls bounded by
+	// RequestTimeout per attempt and the run context).
+	Client *http.Client
+	// MaxAttempts bounds total dispatch attempts per point before the sweep
+	// fails. Default 4.
+	MaxAttempts int
+	// StealAfter is how long a point may be in flight before an idle worker
+	// may steal (duplicate) it. Default 30s; negative disables stealing.
+	StealAfter time.Duration
+	// RequestTimeout bounds one dispatch attempt (submit + result wait).
+	// Default 10m.
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.StealAfter == 0 {
+		c.StealAfter = 30 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Minute
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// WorkerStats is one worker's dispatch counters.
+type WorkerStats struct {
+	URL        string
+	Dispatched int64 // attempts started (including retries and steals)
+	Done       int64 // attempts that returned this point's winning result
+	Retries    int64 // attempts that failed and sent the point back
+	Steals     int64 // duplicate dispatches of slow in-flight points
+	InFlight   int64 // current occupancy (gauge)
+}
+
+type workerState struct {
+	url string
+	sem chan struct{} // MaxInFlight tokens, shared across runs
+
+	dispatched atomic.Int64
+	done       atomic.Int64
+	retries    atomic.Int64
+	steals     atomic.Int64
+	inflight   atomic.Int64
+}
+
+// Coordinator fans sweeps out to a worker pool. Safe for concurrent runs;
+// per-worker in-flight bounds are shared across them.
+type Coordinator struct {
+	cfg     Config
+	workers []*workerState
+}
+
+// New builds a coordinator over the configured worker pool.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("fleet: no workers configured")
+	}
+	cfg = cfg.withDefaults()
+	c := &Coordinator{cfg: cfg}
+	for _, w := range cfg.Workers {
+		n := w.MaxInFlight
+		if n <= 0 {
+			n = 2
+		}
+		ws := &workerState{url: w.URL, sem: make(chan struct{}, n)}
+		for i := 0; i < n; i++ {
+			ws.sem <- struct{}{}
+		}
+		c.workers = append(c.workers, ws)
+	}
+	return c, nil
+}
+
+// Workers reports the pool size.
+func (c *Coordinator) Workers() int { return len(c.workers) }
+
+// Stats snapshots per-worker counters, in configuration order.
+func (c *Coordinator) Stats() []WorkerStats {
+	out := make([]WorkerStats, len(c.workers))
+	for i, w := range c.workers {
+		out[i] = WorkerStats{
+			URL:        w.url,
+			Dispatched: w.dispatched.Load(),
+			Done:       w.done.Load(),
+			Retries:    w.retries.Load(),
+			Steals:     w.steals.Load(),
+			InFlight:   w.inflight.Load(),
+		}
+	}
+	return out
+}
+
+// Ready probes every worker's /healthz concurrently and reports how many
+// answered 200 within the context's deadline.
+func (c *Coordinator) Ready(ctx context.Context) (ready, total int) {
+	var wg sync.WaitGroup
+	var n atomic.Int64
+	for _, w := range c.workers {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+			if err != nil {
+				return
+			}
+			resp, err := c.cfg.Client.Do(req)
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				n.Add(1)
+			}
+		}(w.url)
+	}
+	wg.Wait()
+	return int(n.Load()), len(c.workers)
+}
+
+// task is one point's scheduling record, guarded by run.mu.
+type task struct {
+	idx      int
+	body     []byte // canonical sub-spec JSON to POST
+	done     bool
+	inflight int                   // concurrent dispatches (1, or 2 during a steal)
+	attempts int                   // dispatches started
+	started  time.Time             // most recent dispatch start
+	owners   map[*workerState]bool // workers that have tried it
+}
+
+// run is the state of one RunSpecJSON invocation.
+type run struct {
+	c     *Coordinator
+	ctx   context.Context
+	abort context.CancelFunc
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	tasks     []*task
+	remaining int
+	err       error
+
+	results  [][]byte
+	progress func()
+}
+
+// RunSpecJSON executes the spec across the fleet and returns result bytes
+// byte-identical to a single-node exp.RunSpecJSON: splittable sweeps are
+// sharded point-by-point and merged; everything else is dispatched whole to
+// one worker. progress (may be nil) is called once per completed point.
+func (c *Coordinator) RunSpecJSON(ctx context.Context, spec exp.Spec, progress func()) ([]byte, error) {
+	n := spec.Normalized()
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	subs := n.Points()
+	whole := false
+	if subs == nil {
+		subs = []exp.Spec{n}
+		whole = true
+	}
+
+	rctx, abort := context.WithCancel(ctx)
+	defer abort()
+	r := &run{
+		c:         c,
+		ctx:       rctx,
+		abort:     abort,
+		tasks:     make([]*task, len(subs)),
+		remaining: len(subs),
+		results:   make([][]byte, len(subs)),
+		progress:  progress,
+	}
+	r.cond = sync.NewCond(&r.mu)
+	for i, sub := range subs {
+		body, err := json.Marshal(sub)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: encoding sub-spec %d: %w", i, err)
+		}
+		r.tasks[i] = &task{idx: i, body: body, owners: make(map[*workerState]bool)}
+	}
+
+	// One pulling goroutine per worker slot; each blocks on the worker's
+	// shared semaphore before dispatching, so concurrent runs respect the
+	// same per-worker bound.
+	var wg sync.WaitGroup
+	for _, w := range c.workers {
+		for slot := 0; slot < cap(w.sem); slot++ {
+			wg.Add(1)
+			go func(w *workerState) {
+				defer wg.Done()
+				r.pull(w)
+			}(w)
+		}
+	}
+	// Periodic broadcast so idle slots re-evaluate steal eligibility as
+	// in-flight points age, and notice context cancellation.
+	stopTick := make(chan struct{})
+	var tickWG sync.WaitGroup
+	tickWG.Add(1)
+	go func() {
+		defer tickWG.Done()
+		period := c.cfg.StealAfter / 4
+		if period <= 0 || period > time.Second {
+			period = time.Second
+		}
+		t := time.NewTicker(period)
+		defer t.Stop()
+		done := rctx.Done()
+		for {
+			select {
+			case <-stopTick:
+				return
+			case <-done:
+				done = nil // cancellation broadcast once; ticker carries on
+				r.cond.Broadcast()
+			case <-t.C:
+				r.cond.Broadcast()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stopTick)
+	tickWG.Wait()
+
+	r.mu.Lock()
+	err := r.err
+	remaining := r.remaining
+	r.mu.Unlock()
+	if err == nil && ctx.Err() != nil {
+		err = ctx.Err()
+	}
+	if err == nil && remaining > 0 {
+		err = errors.New("fleet: sweep ended with unfinished points") // unreachable guard
+	}
+	if err != nil {
+		return nil, err
+	}
+	if whole {
+		return r.results[0], nil
+	}
+	return exp.MergePointResults(n, r.results)
+}
+
+// pull is one worker slot's loop: claim a task, dispatch it, file the
+// outcome, repeat until the run completes or aborts.
+func (r *run) pull(w *workerState) {
+	for {
+		t, steal := r.next(w)
+		if t == nil {
+			return
+		}
+		select {
+		case <-w.sem:
+		case <-r.ctx.Done():
+			r.release(t, w, r.ctx.Err())
+			return
+		}
+		w.inflight.Add(1)
+		w.dispatched.Add(1)
+		if steal {
+			w.steals.Add(1)
+		}
+		data, err := r.c.execute(r.ctx, w, t.body)
+		w.inflight.Add(-1)
+		w.sem <- struct{}{}
+		r.complete(t, w, data, err)
+	}
+}
+
+// next blocks until a task is available for this worker (or the run is
+// over). Fresh tasks are preferred in index order; with none pending, an
+// in-flight task older than StealAfter that this worker has not yet tried
+// may be stolen (one duplicate at most).
+func (r *run) next(w *workerState) (t *task, steal bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.err != nil || r.remaining == 0 || r.ctx.Err() != nil {
+			return nil, false
+		}
+		for _, cand := range r.tasks {
+			if cand.done || cand.inflight > 0 || cand.attempts >= r.c.cfg.MaxAttempts {
+				continue
+			}
+			// Prefer a worker that has not failed this task, but do not
+			// strand it if only repeat offenders are idle.
+			if cand.owners[w] && len(cand.owners) < len(r.c.workers) {
+				continue
+			}
+			return r.claim(cand, w), false
+		}
+		if r.c.cfg.StealAfter >= 0 {
+			for _, cand := range r.tasks {
+				if cand.done || cand.inflight != 1 || cand.owners[w] {
+					continue
+				}
+				if cand.attempts >= r.c.cfg.MaxAttempts {
+					continue
+				}
+				if time.Since(cand.started) >= r.c.cfg.StealAfter {
+					return r.claim(cand, w), true
+				}
+			}
+		}
+		r.cond.Wait()
+	}
+}
+
+func (r *run) claim(t *task, w *workerState) *task {
+	t.inflight++
+	t.attempts++
+	t.started = time.Now()
+	t.owners[w] = true
+	return t
+}
+
+// release undoes a claim whose dispatch never started (semaphore wait lost
+// to cancellation).
+func (r *run) release(t *task, w *workerState, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t.inflight--
+	t.attempts--
+	if r.err == nil && err != nil && r.ctx.Err() == nil {
+		r.err = err
+	}
+	r.cond.Broadcast()
+}
+
+// complete files one dispatch outcome: the first successful answer wins the
+// point (later duplicates are discarded — determinism makes them equal);
+// a failure re-queues the point unless its attempt budget is exhausted,
+// which aborts the whole run.
+func (r *run) complete(t *task, w *workerState, data []byte, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t.inflight--
+	switch {
+	case err == nil && !t.done:
+		t.done = true
+		w.done.Add(1)
+		r.results[t.idx] = data
+		r.remaining--
+		if r.progress != nil {
+			r.progress()
+		}
+		if r.remaining == 0 {
+			r.abort() // cancel outstanding duplicate dispatches
+		}
+	case err == nil:
+		// Lost a steal race; drop the duplicate answer.
+	case r.ctx.Err() != nil || errors.Is(err, context.Canceled):
+		// Run canceled (or this dispatch was aborted by completion);
+		// not a worker failure.
+	default:
+		w.retries.Add(1)
+		if t.done {
+			break // the other copy already won
+		}
+		if t.attempts >= r.c.cfg.MaxAttempts && t.inflight == 0 {
+			if r.err == nil {
+				r.err = fmt.Errorf("fleet: point %d failed after %d attempts, last error: %w",
+					t.idx, t.attempts, err)
+			}
+			r.abort()
+		}
+	}
+	r.cond.Broadcast()
+}
+
+// retryable marks errors where re-dispatching elsewhere can help.
+type httpError struct {
+	status int
+	body   string
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("http %d: %s", e.status, e.body)
+}
+
+// execute runs one point on one worker: submit the sub-spec, then long-poll
+// its result. Any transport error, 5xx, or shed (429) is reported to the
+// retry loop; the bytes returned are the worker's canonical Result envelope.
+func (c *Coordinator) execute(ctx context.Context, w *workerState, body []byte) ([]byte, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, w.url+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := readBody(resp)
+	if err != nil {
+		return nil, err
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(sub, &st); err != nil || st.ID == "" {
+		return nil, fmt.Errorf("fleet: submit response unparsable: %v (%.120s)", err, sub)
+	}
+
+	req, err = http.NewRequestWithContext(actx, http.MethodGet, w.url+"/jobs/"+st.ID+"/result?wait=true", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err = c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	result, err := readBody(resp)
+	if err != nil {
+		return nil, err
+	}
+	// The result endpoint emits the envelope plus one trailing newline
+	// (byte parity with `hostnetsim -format json`); the envelope itself is
+	// what merging and the serve-layer cache expect.
+	return bytes.TrimSuffix(result, []byte("\n")), nil
+}
+
+// readBody drains one response, mapping non-2xx statuses to retryable
+// errors (with a Retry-After pause for 429s, so a shedding worker is not
+// hammered).
+func readBody(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return b, nil
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// Brief, bounded politeness pause before the retry loop re-dispatches.
+		time.Sleep(250 * time.Millisecond)
+	}
+	return nil, &httpError{status: resp.StatusCode, body: truncate(string(b), 200)}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

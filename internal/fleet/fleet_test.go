@@ -1,0 +1,275 @@
+// Package fleet_test exercises the coordinator end to end against real
+// in-process hostnetd workers (the full serve stack over httptest), so the
+// dispatch loop, the HTTP surface, and the merge path are all tested
+// together — including under -race in CI's fleet tier.
+package fleet_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/fleet"
+	"repro/internal/serve"
+)
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return b
+}
+
+func jsonDecode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// startWorker boots one in-process hostnetd and returns its base URL.
+func startWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := serve.New(serve.Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return ts
+}
+
+// TestFleetByteIdenticalWithWorkerDeath is the sharding soundness e2e: a
+// coordinator fans a sweep out to three workers, one worker dies after
+// accepting its first point (its in-flight long-polls are severed and every
+// later request is refused), and the merged result is still byte-identical
+// to a single-node exp.RunSpecJSON of the same spec.
+func TestFleetByteIdenticalWithWorkerDeath(t *testing.T) {
+	spec := exp.Spec{Experiment: "quadrant", Quadrant: 2, Cores: []int{1, 2, 3, 4}, WarmupNs: 1000, WindowNs: 2000}
+	single, err := exp.RunSpecJSON(spec, exp.Defaults())
+	if err != nil {
+		t.Fatalf("single-node run: %v", err)
+	}
+
+	wA := startWorker(t)
+	wB := startWorker(t)
+
+	// Worker C accepts exactly one submission and then "crashes": the
+	// accepted point's result long-poll is severed mid-flight and every
+	// subsequent request is refused. The coordinator must finish the sweep
+	// on the survivors.
+	sC := serve.New(serve.Config{Workers: 2})
+	var killed atomic.Bool
+	var wC *httptest.Server
+	wC = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if killed.Load() {
+			http.Error(w, "worker killed", http.StatusInternalServerError)
+			return
+		}
+		if r.Method == http.MethodPost {
+			sC.Handler().ServeHTTP(w, r)
+			killed.Store(true)
+			go wC.CloseClientConnections() // sever in-flight result waits
+			return
+		}
+		sC.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		wC.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		sC.Shutdown(ctx)
+	})
+
+	// One in-flight slot per worker: three slots claim the first three of
+	// the four points immediately, so worker C is guaranteed to be
+	// dispatched a point (and therefore to die) no matter how the slot
+	// goroutines interleave — with spare slots C could legitimately sit
+	// out a short sweep and the death path would go unexercised.
+	coord, err := fleet.New(fleet.Config{
+		Workers: []fleet.Worker{
+			{URL: wA.URL, MaxInFlight: 1},
+			{URL: wB.URL, MaxInFlight: 1},
+			{URL: wC.URL, MaxInFlight: 1},
+		},
+		MaxAttempts:    4,
+		StealAfter:     250 * time.Millisecond,
+		RequestTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	if ready, total := coord.Ready(context.Background()); ready != 3 || total != 3 {
+		t.Fatalf("Ready = %d/%d, want 3/3", ready, total)
+	}
+
+	var progress atomic.Int64
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	got, err := coord.RunSpecJSON(ctx, spec, func() { progress.Add(1) })
+	if err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+	if !bytes.Equal(got, single) {
+		t.Fatalf("fleet result differs from single-node run:\nsingle: %.300s\nfleet:  %.300s", single, got)
+	}
+	if progress.Load() != 4 {
+		t.Errorf("progress called %d times, want 4 (one per point)", progress.Load())
+	}
+
+	var done, retries int64
+	for _, ws := range coord.Stats() {
+		done += ws.Done
+		retries += ws.Retries
+		if ws.InFlight != 0 {
+			t.Errorf("worker %s still shows %d in flight after the run", ws.URL, ws.InFlight)
+		}
+	}
+	if done != 4 {
+		t.Errorf("winning results = %d, want 4", done)
+	}
+	if retries == 0 {
+		t.Error("no retries recorded despite a worker dying mid-sweep")
+	}
+
+	// The dead worker is visible to readiness probing.
+	if ready, total := coord.Ready(context.Background()); ready != 2 || total != 3 {
+		t.Errorf("post-mortem Ready = %d/%d, want 2/3", ready, total)
+	}
+}
+
+// TestFleetWholeDispatch pins the non-splittable path: a single-point spec
+// is dispatched whole to one worker and comes back byte-identical.
+func TestFleetWholeDispatch(t *testing.T) {
+	spec := exp.Spec{Experiment: "quadrant", Quadrant: 1, Cores: []int{2}, WarmupNs: 1000, WindowNs: 2000}
+	single, err := exp.RunSpecJSON(spec, exp.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := startWorker(t)
+	coord, err := fleet.New(fleet.Config{Workers: []fleet.Worker{{URL: w.URL}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coord.RunSpecJSON(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+	if !bytes.Equal(got, single) {
+		t.Fatal("whole-dispatch result differs from single-node run")
+	}
+}
+
+// TestFleetAllWorkersDead pins the failure mode: when every attempt is
+// exhausted the run fails with the point's last error instead of hanging.
+func TestFleetAllWorkersDead(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	t.Cleanup(dead.Close)
+	coord, err := fleet.New(fleet.Config{
+		Workers:        []fleet.Worker{{URL: dead.URL}},
+		MaxAttempts:    2,
+		StealAfter:     -1,
+		RequestTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err = coord.RunSpecJSON(ctx, exp.Spec{Experiment: "quadrant", Quadrant: 1, Cores: []int{1, 2}, WarmupNs: 1000, WindowNs: 2000}, nil)
+	if err == nil || !strings.Contains(err.Error(), "attempts") {
+		t.Fatalf("err = %v, want attempt-exhaustion failure", err)
+	}
+}
+
+// TestFleetCoordinatorMode runs a coordinator-mode daemon end to end: jobs
+// submitted to the front daemon execute by fan-out to backend workers, and
+// the served bytes match the backend's own single-node result format.
+func TestFleetCoordinatorMode(t *testing.T) {
+	wA := startWorker(t)
+	wB := startWorker(t)
+	coord, err := fleet.New(fleet.Config{
+		Workers:        []fleet.Worker{{URL: wA.URL, MaxInFlight: 2}, {URL: wB.URL, MaxInFlight: 2}},
+		RequestTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := serve.New(serve.Config{Workers: 2, Fleet: coord})
+	fts := httptest.NewServer(front.Handler())
+	t.Cleanup(func() {
+		fts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		front.Shutdown(ctx)
+	})
+
+	spec := exp.Spec{Experiment: "faultsweep", Quadrant: 3, Cores: []int{1, 2}, WarmupNs: 1000, WindowNs: 3000}
+	single, err := exp.RunSpecJSON(spec, exp.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body, _ := spec.Canonical()
+	resp, err := http.Post(fts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := jsonDecode(resp, &st); err != nil || st.ID == "" {
+		t.Fatalf("submit: %v (%+v)", err, st)
+	}
+	resp, err = http.Get(fts.URL + "/jobs/" + st.ID + "/result?wait=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: code %d body %.300s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(bytes.TrimSuffix(got, []byte("\n")), single) {
+		t.Fatal("coordinator-mode result differs from single-node run")
+	}
+
+	// The front daemon's metrics expose per-worker dispatch counters.
+	resp, err = http.Get(fts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(readAll(t, resp))
+	if !strings.Contains(metrics, "hostnetd_fleet_dispatch_total{worker=") {
+		t.Error("front daemon metrics missing fleet dispatch counters")
+	}
+	// And /healthz reports pool readiness.
+	resp, err = http.Get(fts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Fleet *struct {
+			Ready int `json:"ready"`
+			Total int `json:"total"`
+		} `json:"fleet"`
+	}
+	if err := jsonDecode(resp, &hz); err != nil || hz.Fleet == nil {
+		t.Fatalf("healthz fleet block missing: %v", err)
+	}
+	if hz.Fleet.Ready != 2 || hz.Fleet.Total != 2 {
+		t.Errorf("healthz fleet = %+v, want 2/2", hz.Fleet)
+	}
+}

@@ -55,6 +55,10 @@ var (
 	// ErrClosed is returned once shutdown has begun; admission stops
 	// immediately while accepted jobs drain.
 	ErrClosed = errors.New("server is draining; not accepting jobs")
+	// ErrTenantQuota is returned when a tenant already has its quota of
+	// admitted jobs in flight; also a 429, but scoped to the tenant — the
+	// shared queue may be wide open.
+	ErrTenantQuota = errors.New("tenant quota exceeded")
 )
 
 // Outcome says how a submission was satisfied.
@@ -70,6 +74,10 @@ const (
 	// OutcomeDeduplicated: an identical spec is queued or running; the
 	// submission attaches to that in-flight job (one simulation serves all).
 	OutcomeDeduplicated
+	// OutcomeStoreHit: the spec missed the in-memory cache but its result
+	// was found in the persistent store (this daemon's earlier life, or a
+	// fleet peer sharing the directory); served without running anything.
+	OutcomeStoreHit
 )
 
 // String names the outcome as the API reports it.
@@ -79,6 +87,8 @@ func (o Outcome) String() string {
 		return "cache_hit"
 	case OutcomeDeduplicated:
 		return "deduplicated"
+	case OutcomeStoreHit:
+		return "store_hit"
 	}
 	return "accepted"
 }
@@ -91,6 +101,8 @@ type Job struct {
 	ID        string
 	Spec      exp.Spec // normalized
 	Canonical []byte   // canonical spec bytes the ID hashes
+	StoreKey  string   // full hex SHA-256 of Canonical: the persistent-store address
+	Tenant    string   // admission-quota principal (X-Tenant header; "" = anonymous)
 
 	mu          sync.Mutex
 	state       State
@@ -234,11 +246,13 @@ func (j *Job) finishLocked(state State, result []byte, errMsg string) {
 	close(j.done)
 }
 
-// jobID derives the content address: "j" + first 16 hex chars of the
-// canonical spec's SHA-256.
-func jobID(canonical []byte) string {
+// jobKeys derives the content addresses from one hash: the short job ID
+// ("j" + first 16 hex chars of the canonical spec's SHA-256) the API uses,
+// and the full hex digest the persistent store files results under.
+func jobKeys(canonical []byte) (id, storeKey string) {
 	sum := sha256.Sum256(canonical)
-	return "j" + hex.EncodeToString(sum[:8])
+	storeKey = hex.EncodeToString(sum[:])
+	return "j" + storeKey[:16], storeKey
 }
 
 // manager owns the bounded job queue, the worker pool, and the
@@ -256,6 +270,7 @@ type manager struct {
 	jobs     map[string]*Job // content address -> job (live and cached)
 	lru      *list.List      // terminal jobs, most recently used at front
 	lruBytes int64
+	tenants  map[string]int // tenant -> admitted jobs in flight (queued+running)
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -274,6 +289,7 @@ func newManager(cfg Config, met *metrics) *manager {
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
 		lru:        list.New(),
+		tenants:    make(map[string]int),
 		queue:      make(chan *Job, cfg.QueueDepth),
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -283,12 +299,13 @@ func newManager(cfg Config, met *metrics) *manager {
 	return m
 }
 
-// Submit admits a spec: content-address it, serve it from the cache or an
-// in-flight duplicate if possible, otherwise enqueue a new job — or shed
-// load if the bounded queue is full. The spec must already be normalized
-// and validated (the HTTP layer does both).
-func (m *manager) Submit(spec exp.Spec, canonical []byte) (*Job, Outcome, error) {
-	id := jobID(canonical)
+// Submit admits a spec: content-address it, serve it from the in-memory
+// cache, an in-flight duplicate, or the persistent store if possible,
+// otherwise enqueue a new job — or shed load if the bounded queue is full
+// or the tenant is over quota. The spec must already be normalized and
+// validated (the HTTP layer does both).
+func (m *manager) Submit(spec exp.Spec, canonical []byte, tenant string) (*Job, Outcome, error) {
+	id, storeKey := jobKeys(canonical)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -308,10 +325,35 @@ func (m *manager) Submit(spec exp.Spec, canonical []byte) (*Job, Outcome, error)
 			m.removeLocked(j)
 		}
 	}
+	if st := m.cfg.Store; st != nil {
+		// Read through the persistent store before paying for a simulation:
+		// a result filed by an earlier life of this daemon — or by a fleet
+		// peer sharing the directory — is as good as a local cache hit
+		// (determinism guarantees the bytes). The revived job enters the
+		// in-memory LRU like any freshly computed one.
+		if result, ok := st.Get(storeKey); ok {
+			j := newJob(id, spec, canonical)
+			j.StoreKey = storeKey
+			j.finish(StateDone, result, "")
+			m.jobs[id] = j
+			m.insertLocked(j, StateDone, result)
+			m.met.storeHits.Add(1)
+			return j, OutcomeStoreHit, nil
+		}
+	}
+	if q := m.cfg.TenantQuota; q > 0 && m.tenants[tenant] >= q {
+		// Per-tenant shed happens only on the path that would consume a
+		// queue slot: cache, dedup, and store hits above cost the daemon
+		// nothing, so they are never charged against the quota.
+		return nil, OutcomeAccepted, ErrTenantQuota
+	}
 	j := newJob(id, spec, canonical)
+	j.StoreKey = storeKey
+	j.Tenant = tenant
 	select {
 	case m.queue <- j:
 		m.jobs[id] = j
+		m.tenants[tenant]++
 		m.met.cacheMisses.Add(1)
 		return j, OutcomeAccepted, nil
 	default:
@@ -320,6 +362,18 @@ func (m *manager) Submit(spec exp.Spec, canonical []byte) (*Job, Outcome, error)
 		// not a shed.
 		return nil, OutcomeAccepted, ErrQueueFull
 	}
+}
+
+// releaseTenant returns a job's admission-quota slot; every admitted job
+// passes through run() exactly once, which is where this is called.
+func (m *manager) releaseTenant(j *Job) {
+	m.mu.Lock()
+	if n := m.tenants[j.Tenant]; n <= 1 {
+		delete(m.tenants, j.Tenant)
+	} else {
+		m.tenants[j.Tenant] = n - 1
+	}
+	m.mu.Unlock()
 }
 
 // Get returns the job at a content address or job ID.
@@ -350,6 +404,7 @@ func (m *manager) worker() {
 // run executes one job with panic isolation, per-job timeout, and progress
 // accounting, then files the terminal result in the cache.
 func (m *manager) run(j *Job) {
+	defer m.releaseTenant(j) // admission-quota slot held from Submit until terminal
 	ctx, cancel := context.WithTimeout(m.baseCtx, m.cfg.JobTimeout)
 	defer cancel()
 	if !j.markRunning(cancel) {
@@ -381,8 +436,15 @@ func (m *manager) run(j *Job) {
 	// runner.Do gives panic isolation: a panic anywhere in the simulation
 	// (including an audit violation under Config.Audit) surfaces as a
 	// *runner.PanicError with the goroutine's stack instead of killing the
-	// daemon.
-	poolErr := runner.Do(ctx, 1, func() { out, runErr = exp.RunSpecJSON(j.Spec, opt) })
+	// daemon. In coordinator mode the "simulation" is a fleet fan-out that
+	// produces the same bytes (exp.MergePointResults byte-identity).
+	poolErr := runner.Do(ctx, 1, func() {
+		if fl := m.cfg.Fleet; fl != nil {
+			out, runErr = fl.RunSpecJSON(ctx, j.Spec, j.bumpProgress)
+		} else {
+			out, runErr = exp.RunSpecJSON(j.Spec, opt)
+		}
+	})
 	wall := time.Since(start)
 
 	var st State
@@ -407,11 +469,27 @@ func (m *manager) run(j *Job) {
 		st = StateDone
 	}
 
+	if st == StateDone {
+		m.writeThrough(j, out)
+	}
 	m.mu.Lock()
 	m.insertLocked(j, st, out)
 	m.mu.Unlock()
 	j.finish(st, out, msg)
 	m.met.observe(st, wall)
+}
+
+// writeThrough files a completed result in the persistent store (best
+// effort: a full disk degrades the daemon to memory-only, it does not fail
+// the job that just computed a perfectly good result).
+func (m *manager) writeThrough(j *Job, result []byte) {
+	st := m.cfg.Store
+	if st == nil || j.StoreKey == "" {
+		return
+	}
+	if err := st.Put(j.StoreKey, result); err != nil {
+		m.met.storeWriteErrs.Add(1)
+	}
 }
 
 // insertLocked files a terminal job in the LRU and evicts over-budget
@@ -499,11 +577,36 @@ func (m *manager) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-drained:
+		m.flushStore()
 		return nil
 	case <-ctx.Done():
 		m.baseCancel() // cancel in-flight and still-queued jobs
 		<-drained
+		m.flushStore()
 		return fmt.Errorf("drain deadline exceeded, in-flight jobs canceled: %w", ctx.Err())
+	}
+}
+
+// flushStore re-files every completed result in the persistent store after
+// the drain: jobs write through as they finish, so this is normally all
+// no-op Puts, but it retries any write that failed transiently (disk
+// briefly full) so a graceful shutdown never strands a computed result in
+// memory only.
+func (m *manager) flushStore() {
+	if m.cfg.Store == nil {
+		return
+	}
+	m.mu.Lock()
+	done := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		if j.StoreKey != "" && j.State() == StateDone {
+			done = append(done, j)
+		}
+	}
+	m.mu.Unlock()
+	for _, j := range done {
+		result, _, _ := j.Result()
+		m.writeThrough(j, result)
 	}
 }
 

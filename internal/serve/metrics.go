@@ -12,11 +12,14 @@ import (
 // that describe current state (queue depth, jobs by state, cache size) are
 // computed from the manager at scrape time instead of being tracked here.
 type metrics struct {
-	cacheHits     atomic.Int64 // submissions served from the result cache
-	cacheMisses   atomic.Int64 // submissions that enqueued a new job
-	dedupInflight atomic.Int64 // submissions attached to a queued/running job
-	rejected      atomic.Int64 // submissions shed with 429 (queue full)
-	evictions     atomic.Int64 // cache entries dropped to stay under the byte cap
+	cacheHits      atomic.Int64 // submissions served from the result cache
+	cacheMisses    atomic.Int64 // submissions that enqueued a new job
+	dedupInflight  atomic.Int64 // submissions attached to a queued/running job
+	rejected       atomic.Int64 // submissions shed with 429 (queue full)
+	evictions      atomic.Int64 // cache entries dropped to stay under the byte cap
+	storeHits      atomic.Int64 // submissions served from the persistent store
+	storeWriteErrs atomic.Int64 // write-through Puts that failed (best effort)
+	tenantRejected atomic.Int64 // submissions shed with 429 (tenant over quota)
 
 	finished      [numStates]atomic.Int64 // terminal jobs by final state
 	finishedNanos [numStates]atomic.Int64 // total wall-clock by final state
@@ -58,6 +61,45 @@ func (m *metrics) writeProm(w io.Writer, mgr *manager) {
 	counter("hostnetd_cache_evictions_total", "Cached results evicted to stay under the byte cap.", m.evictions.Load())
 	gauge("hostnetd_cache_entries", "Terminal jobs held in the result cache.", entries)
 	gauge("hostnetd_cache_bytes", "Approximate bytes held by the result cache.", bytes)
+	counter("hostnetd_tenants_rejected_total", "Submissions shed with 429 because the tenant was over quota.", m.tenantRejected.Load())
+
+	if st := mgr.cfg.Store; st != nil {
+		ss := st.Stats()
+		counter("hostnetd_store_hits_total", "Submissions served from the persistent store.", m.storeHits.Load())
+		counter("hostnetd_store_misses_total", "Store lookups that found nothing (or only damage).", ss.Misses)
+		counter("hostnetd_store_puts_total", "Results written to the persistent store.", ss.Puts)
+		counter("hostnetd_store_put_noops_total", "Write-throughs skipped because the entry already existed.", ss.PutNoops)
+		counter("hostnetd_store_evictions_total", "Store entries removed by GC.", ss.Evictions)
+		counter("hostnetd_store_gc_bytes_total", "Payload bytes reclaimed by store GC.", ss.GCBytes)
+		counter("hostnetd_store_quarantined_total", "Damaged store entries moved aside.", ss.Quarantined)
+		counter("hostnetd_store_write_errors_total", "Write-through failures (result kept in memory only).", m.storeWriteErrs.Load())
+		gauge("hostnetd_store_entries", "Entries held by the persistent store.", ss.Entries)
+		gauge("hostnetd_store_bytes", "Payload bytes held by the persistent store.", ss.Bytes)
+	}
+
+	if fl := mgr.cfg.Fleet; fl != nil {
+		fmt.Fprintf(w, "# HELP hostnetd_fleet_dispatch_total Point dispatches started, per worker (includes retries and steals).\n# TYPE hostnetd_fleet_dispatch_total counter\n")
+		stats := fl.Stats()
+		for _, ws := range stats {
+			fmt.Fprintf(w, "hostnetd_fleet_dispatch_total{worker=%q} %d\n", ws.URL, ws.Dispatched)
+		}
+		fmt.Fprintf(w, "# HELP hostnetd_fleet_done_total Winning point results returned, per worker.\n# TYPE hostnetd_fleet_done_total counter\n")
+		for _, ws := range stats {
+			fmt.Fprintf(w, "hostnetd_fleet_done_total{worker=%q} %d\n", ws.URL, ws.Done)
+		}
+		fmt.Fprintf(w, "# HELP hostnetd_fleet_retries_total Failed dispatches that re-queued their point, per worker.\n# TYPE hostnetd_fleet_retries_total counter\n")
+		for _, ws := range stats {
+			fmt.Fprintf(w, "hostnetd_fleet_retries_total{worker=%q} %d\n", ws.URL, ws.Retries)
+		}
+		fmt.Fprintf(w, "# HELP hostnetd_fleet_steals_total Duplicate dispatches of slow in-flight points, per worker.\n# TYPE hostnetd_fleet_steals_total counter\n")
+		for _, ws := range stats {
+			fmt.Fprintf(w, "hostnetd_fleet_steals_total{worker=%q} %d\n", ws.URL, ws.Steals)
+		}
+		fmt.Fprintf(w, "# HELP hostnetd_fleet_inflight Points currently dispatched, per worker.\n# TYPE hostnetd_fleet_inflight gauge\n")
+		for _, ws := range stats {
+			fmt.Fprintf(w, "hostnetd_fleet_inflight{worker=%q} %d\n", ws.URL, ws.InFlight)
+		}
+	}
 
 	fmt.Fprintf(w, "# HELP hostnetd_jobs_finished_total Jobs that reached a terminal state.\n# TYPE hostnetd_jobs_finished_total counter\n")
 	for _, st := range []State{StateDone, StateFailed, StateCanceled} {

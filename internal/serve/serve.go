@@ -29,6 +29,8 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/fleet"
+	"repro/internal/store"
 	"repro/internal/version"
 )
 
@@ -53,6 +55,25 @@ type Config struct {
 	Parallelism int
 	// Audit enables simulator invariant auditing inside jobs.
 	Audit bool
+	// Store, when non-nil, is the persistent content-addressed result store
+	// the in-memory cache reads through and writes through: completed
+	// results are filed under the full canonical-spec SHA-256 and survive
+	// restarts; submissions that miss the in-memory cache are served from
+	// the store without re-simulating. Point a fleet of daemons at one
+	// directory to share results (determinism makes that coherence-free).
+	Store *store.Store
+	// Fleet, when non-nil, switches the daemon into coordinator mode: jobs
+	// are executed by sharding them across the coordinator's worker pool
+	// (splittable sweeps point-by-point) instead of simulating locally. The
+	// serve-layer queue, dedup, cache, store, and shedding all still apply,
+	// so a coordinator looks exactly like a worker to its clients.
+	Fleet *fleet.Coordinator
+	// TenantQuota bounds each tenant's concurrently admitted jobs (queued +
+	// running, keyed on the X-Tenant request header; absent means the
+	// anonymous tenant). Submissions over quota are shed with 429 without
+	// touching the shared queue, so one tenant cannot monopolize admission.
+	// 0 disables per-tenant quotas.
+	TenantQuota int
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +120,7 @@ func New(cfg Config) *Server {
 	}
 	s.mgr = newManager(cfg, s.met)
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /jobs/batch", s.handleSubmitBatch)
 	s.mux.HandleFunc("GET /jobs", s.handleList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
@@ -183,32 +205,30 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 // maxSpecBody bounds a submitted spec; real specs are well under 1 KiB.
 const maxSpecBody = 1 << 20
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var spec exp.Spec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
-		return
-	}
+// maxBatchSpecs bounds one batch submission; larger suites should be split
+// so a single request cannot reserve the whole queue.
+const maxBatchSpecs = 256
+
+// admit runs the full admission pipeline for one spec: normalize,
+// validate, cap the simulated window, canonicalize, and submit — retrying
+// once if the queue-full rejection might be stale. On error it returns the
+// HTTP status the caller should write.
+func (s *Server) admit(spec exp.Spec, tenant string) (j *Job, outcome Outcome, code int, err error) {
 	spec = spec.Normalized()
 	if err := spec.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
-		return
+		return nil, 0, http.StatusBadRequest, fmt.Errorf("invalid job spec: %w", err)
 	}
 	if s.cfg.MaxWindowNs > 0 {
 		if spec.WindowNs > s.cfg.MaxWindowNs || spec.WarmupNs > s.cfg.MaxWindowNs {
-			writeError(w, http.StatusBadRequest,
+			return nil, 0, http.StatusBadRequest, fmt.Errorf(
 				"window_ns/warmup_ns exceed this server's cap of %d simulated ns", s.cfg.MaxWindowNs)
-			return
 		}
 	}
 	canonical, err := spec.Canonical()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "cannot canonicalize spec: %v", err)
-		return
+		return nil, 0, http.StatusBadRequest, fmt.Errorf("cannot canonicalize spec: %w", err)
 	}
-	j, outcome, err := s.mgr.Submit(spec, canonical)
+	j, outcome, err = s.mgr.Submit(spec, canonical, tenant)
 	if errors.Is(err, ErrQueueFull) {
 		// The queue may have drained between the failed reservation and
 		// this response: a worker dequeues the moment a slot frees, so the
@@ -218,28 +238,95 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if h := s.retryHook; h != nil {
 			h()
 		}
-		j, outcome, err = s.mgr.Submit(spec, canonical)
+		j, outcome, err = s.mgr.Submit(spec, canonical, tenant)
 	}
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		s.met.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "%v (capacity %d)", err, s.cfg.QueueDepth)
-		return
+		return nil, 0, http.StatusTooManyRequests, fmt.Errorf("%w (capacity %d)", err, s.cfg.QueueDepth)
+	case errors.Is(err, ErrTenantQuota):
+		s.met.tenantRejected.Add(1)
+		return nil, 0, http.StatusTooManyRequests, fmt.Errorf("%w (quota %d)", err, s.cfg.TenantQuota)
 	case errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
+		return nil, 0, http.StatusServiceUnavailable, err
 	case err != nil:
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		return nil, 0, http.StatusInternalServerError, err
+	}
+	return j, outcome, 0, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec exp.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	j, outcome, code, err := s.admit(spec, r.Header.Get("X-Tenant"))
+	if err != nil {
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, code, "%v", err)
 		return
 	}
 	st := statusOf(j)
 	st.Outcome = outcome.String()
-	code := http.StatusAccepted
-	if outcome == OutcomeCacheHit {
-		code = http.StatusOK
+	code = http.StatusAccepted
+	if outcome == OutcomeCacheHit || outcome == OutcomeStoreHit {
+		code = http.StatusOK // the result is already available
 	}
 	writeJSON(w, code, st)
+}
+
+// batchItem is one entry in a batch-submit response: the admitted job's
+// status, or the error that kept the spec out (the rest of the batch is
+// unaffected — admission is per spec, not all-or-nothing).
+type batchItem struct {
+	JobStatus
+	SubmitError string `json:"submit_error,omitempty"`
+}
+
+// handleSubmitBatch admits a whole suite of specs in one request (figure
+// warming, sweep fan-in). Each spec goes through the same admission
+// pipeline as POST /jobs, including dedup, cache/store hits, tenant
+// quotas, and shedding; outcomes are reported per item.
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Specs []exp.Spec `json:"specs"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch body: %v", err)
+		return
+	}
+	if len(req.Specs) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no specs")
+		return
+	}
+	if len(req.Specs) > maxBatchSpecs {
+		writeError(w, http.StatusBadRequest, "batch of %d specs exceeds the limit of %d", len(req.Specs), maxBatchSpecs)
+		return
+	}
+	tenant := r.Header.Get("X-Tenant")
+	items := make([]batchItem, len(req.Specs))
+	admitted := 0
+	for i, spec := range req.Specs {
+		j, outcome, _, err := s.admit(spec, tenant)
+		if err != nil {
+			items[i].SubmitError = err.Error()
+			continue
+		}
+		items[i].JobStatus = statusOf(j)
+		items[i].Outcome = outcome.String()
+		admitted++
+	}
+	writeJSON(w, http.StatusAccepted, struct {
+		Admitted int         `json:"admitted"`
+		Jobs     []batchItem `json:"jobs"`
+	}{admitted, items})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -398,17 +485,78 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	}{exp.Experiments()})
 }
 
+// storeHealth is /healthz's view of the persistent store.
+type storeHealth struct {
+	Ready   bool   `json:"ready"`
+	Dir     string `json:"dir"`
+	Entries int    `json:"entries"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// fleetHealth is /healthz's view of the coordinator's worker pool.
+type fleetHealth struct {
+	Ready int `json:"ready"` // workers answering /healthz right now
+	Total int `json:"total"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	state := "serving"
 	if s.mgr.Draining() {
 		state = "draining"
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Status  string `json:"status"`
-		State   string `json:"state"`
-		UpSec   int64  `json:"uptime_seconds"`
-		Workers int    `json:"workers"`
-	}{"ok", state, int64(time.Since(s.start).Seconds()), s.cfg.Workers})
+	resp := struct {
+		Status  string       `json:"status"`
+		State   string       `json:"state"`
+		UpSec   int64        `json:"uptime_seconds"`
+		Workers int          `json:"workers"`
+		Store   *storeHealth `json:"store,omitempty"`
+		Fleet   *fleetHealth `json:"fleet,omitempty"`
+	}{"ok", state, int64(time.Since(s.start).Seconds()), s.cfg.Workers, nil, nil}
+	if st := s.cfg.Store; st != nil {
+		ss := st.Stats()
+		resp.Store = &storeHealth{Ready: true, Dir: st.Dir(), Entries: ss.Entries, Bytes: ss.Bytes}
+	}
+	if fl := s.cfg.Fleet; fl != nil {
+		ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+		defer cancel()
+		ready, total := fl.Ready(ctx)
+		resp.Fleet = &fleetHealth{Ready: ready, Total: total}
+		if ready < total {
+			// Still 200 — the daemon itself is up and sheds or retries as
+			// needed — but the body says the pool is short.
+			resp.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Warm pre-populates the cache (and, when configured, the persistent
+// store) by submitting each spec through the ordinary admission pipeline
+// and waiting for its terminal state. Specs already cached or stored are
+// free; the rest simulate. It returns how many specs ended done and how
+// many failed (invalid, shed after retry, canceled, or simulation error).
+// Warming a figure suite before pointing plotting jobs at the daemon makes
+// every figure fetch a cache hit.
+func (s *Server) Warm(ctx context.Context, specs []exp.Spec) (done, failed int) {
+	for _, spec := range specs {
+		j, _, _, err := s.admit(spec, "")
+		if err != nil {
+			failed++
+			continue
+		}
+		select {
+		case <-j.Done():
+		case <-ctx.Done():
+			failed++
+			continue
+		}
+		if j.State() == StateDone {
+			done++
+		} else {
+			failed++
+		}
+	}
+	return done, failed
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
