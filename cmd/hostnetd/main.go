@@ -9,6 +9,7 @@
 //	         [-max-window 10ms] [-audit] [-version]
 //	         [-store DIR] [-store-bytes N] [-tenant-quota N]
 //	         [-fleet URL,URL,...] [-fleet-inflight N] [-warm names|all]
+//	         [-fidelity both|sim|analytic] [-refine]
 //
 // Endpoints:
 //
@@ -20,9 +21,17 @@
 //	GET    /jobs/{id}/stream  NDJSON progress stream
 //	DELETE /jobs/{id}         cancel
 //	GET    /experiments       valid experiment names
+//	GET    /crossval          analytic-vs-sim error per config-space region
 //	GET    /healthz           liveness + drain state + store/fleet readiness
 //	GET    /metrics           Prometheus text format
 //	GET    /version           build info
+//
+// Specs carrying "fidelity": "analytic" are answered inline by the §7
+// predictive model — microseconds instead of a queue slot — and still
+// cached and stored by content address; specs the model cannot answer get
+// 422. -fidelity restricts which tiers this server accepts; -refine makes
+// every fresh analytic answer enqueue its sim twin at background priority
+// and fold the comparison into GET /crossval.
 //
 // With -store DIR, results persist on disk by content address and survive
 // restarts; a fleet of daemons pointed at one directory shares them. With
@@ -75,6 +84,8 @@ func realMain(args []string) int {
 	fleetURLs := fs.String("fleet", "", "comma-separated worker base URLs: run as sharding coordinator")
 	fleetInflight := fs.Int("fleet-inflight", 2, "max in-flight points per fleet worker")
 	tenantQuota := fs.Int("tenant-quota", 0, "max admitted jobs per X-Tenant header (0 disables)")
+	fidelity := fs.String("fidelity", "both", "fidelity tiers served: both, sim, or analytic")
+	refine := fs.Bool("refine", false, "follow analytic answers with background sim twins feeding GET /crossval")
 	warm := fs.String("warm", "", "comma-separated experiment names (or 'all') to pre-warm after startup")
 	ver := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
@@ -85,6 +96,12 @@ func realMain(args []string) int {
 		return 0
 	}
 
+	switch *fidelity {
+	case "both", "sim", "analytic":
+	default:
+		log.Printf("-fidelity %q: valid values are both, sim, analytic", *fidelity)
+		return 2
+	}
 	cfg := serve.Config{
 		QueueDepth:  *queue,
 		Workers:     *workers,
@@ -94,6 +111,8 @@ func realMain(args []string) int {
 		MaxWindowNs: maxWindow.Nanoseconds(),
 		Audit:       *audit,
 		TenantQuota: *tenantQuota,
+		Fidelity:    *fidelity,
+		Refine:      *refine,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, store.Config{MaxBytes: *storeBytes})

@@ -21,6 +21,10 @@
 //	-format   "table" (default, rendered) or "json": the canonical JSON
 //	          Result envelope, one NDJSON line per experiment, byte-identical
 //	          to hostnetd's result endpoint for the same spec
+//	-fidelity "sim" (default, the discrete-event simulator) or "analytic":
+//	          answer from the §7 predictive model instead — microseconds
+//	          per experiment, supported for the point sweeps only (quadrant,
+//	          rdma, hostcc), JSON output only
 //	-version  print build identification (module version, VCS revision) and
 //	          exit
 //	-audit    run every experiment under the invariant auditor: credit
@@ -79,6 +83,7 @@ func realMain() int {
 	faultsArg := flag.String("faults", "", "fault schedule: JSON array of windows, or @file")
 	csvOut := flag.Bool("csv", false, "emit quadrant experiments as CSV instead of tables")
 	format := flag.String("format", "table", "output format: table (rendered) or json (canonical machine-readable)")
+	fidelity := flag.String("fidelity", "", "fidelity tier: sim (default) or analytic (predictive model, -format json only)")
 	showVersion := flag.Bool("version", false, "print build version and exit")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	hosts := flag.Int("hosts", 0, "rack size for the incast experiment (default 4)")
@@ -96,6 +101,16 @@ func realMain() int {
 	}
 	if *format != "table" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "unknown -format %q (valid: table, json)\n", *format)
+		return 2
+	}
+	switch *fidelity {
+	case "", hostnet.FidelitySim, hostnet.FidelityAnalytic:
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -fidelity %q (valid: sim, analytic)\n", *fidelity)
+		return 2
+	}
+	if *fidelity == hostnet.FidelityAnalytic && *format != "json" {
+		fmt.Fprintln(os.Stderr, "-fidelity analytic emits []AnalyticPoint, which has no table rendering; use -format json")
 		return 2
 	}
 
@@ -163,11 +178,11 @@ func realMain() int {
 		fmt.Fprintln(os.Stderr, "usage: hostnetsim [flags] <experiment>...")
 		fmt.Fprintln(os.Stderr, "experiments: table1 fig1 fig2 fig3 fig6 fig7 fig8 fig11 fig12 fig13 fig14")
 		fmt.Fprintln(os.Stderr, "             fig15 fig16 fig17 fig18 fig19 fig23 fig27 fig29 domains")
-		fmt.Fprintln(os.Stderr, "             prefetch hostcc mcisolation ratio cxl faultsweep incast all")
+		fmt.Fprintln(os.Stderr, "             prefetch hostcc mcisolation ratio cxl faultsweep incast crossval all")
 		return 2
 	}
 	if *format == "json" {
-		return runJSON(opt, *window, *warmup, *ddio, args)
+		return runJSON(opt, *window, *warmup, *ddio, *fidelity, args)
 	}
 	for _, a := range args {
 		if a == "all" {
@@ -192,7 +207,7 @@ var fabricPartitioned bool
 // runJSON emits the canonical JSON Result envelope for each named
 // experiment, one NDJSON line per name — byte-identical to hostnetd's
 // result endpoint for the same spec (both route through exp.RunSpecJSON).
-func runJSON(opt hostnet.Options, window, warmup time.Duration, ddio bool, names []string) int {
+func runJSON(opt hostnet.Options, window, warmup time.Duration, ddio bool, fidelity string, names []string) int {
 	if len(names) == 1 && names[0] == "all" {
 		names = exp.Experiments()
 	}
@@ -203,6 +218,7 @@ func runJSON(opt hostnet.Options, window, warmup time.Duration, ddio bool, names
 			WarmupNs:   warmup.Nanoseconds(),
 			DDIO:       ddio,
 			Faults:     opt.Faults,
+			Fidelity:   fidelity,
 		}
 		if name == "incast" && (fabricHosts > 0 || fabricPartitioned) {
 			spec.Fabric = &hostnet.FabricSpec{Hosts: fabricHosts, Partitioned: fabricPartitioned}
@@ -353,6 +369,13 @@ func run(opt hostnet.Options, names ...string) int {
 				sched = exp.DefaultFaultSchedule(int64(opt.Warmup/sim.Nanosecond), int64(opt.Window/sim.Nanosecond))
 			}
 			renderFaultSweep(w, hostnet.RunFaultSweep(hostnet.Q3, []int{2, 4, 6}, sched, opt))
+		case "crossval":
+			cv, err := exp.RunCrossval(exp.Q1, exp.DefaultCoreSweep(), opt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "crossval:", err)
+				return 1
+			}
+			renderCrossval(w, cv)
 		case "hostcc":
 			s := hostnet.RunHostCCStudy(hostnet.Q3, 5, hostnet.DefaultHostCCConfig(), opt)
 			fmt.Fprintf(w, "hostCC-style mitigation (red regime, Q3 with 5 cores):\n")
@@ -387,6 +410,24 @@ func renderDCTCPFormula(w *os.File, read, rw []exp.DCTCPFormulaPoint) {
 	for _, f := range rw {
 		t.Add("C2MReadWrite", f.C2MCores, fmt.Sprintf("%+.1f", f.MemErrPct),
 			fmt.Sprintf("%+.1f", f.NetC2MErrPct), fmt.Sprintf("%+.1f", f.NetP2MErrPct))
+	}
+	t.Render(w)
+}
+
+func renderCrossval(w *os.File, cv *exp.CrossvalResult) {
+	t := exp.Table{
+		Title: fmt.Sprintf("crossval: analytic vs sim, quadrant %d (envelope ±%.0f%%)",
+			cv.Quadrant, float64(exp.CrossvalEnvelopePct)),
+		Header: []string{"cores", "sim C2M", "pred C2M", "BW err", "sim L", "pred L", "L err"},
+	}
+	for _, p := range cv.Points {
+		t.Add(p.Cores,
+			fmt.Sprintf("%.1f GB/s", p.SimC2MBytesPerSec/1e9),
+			fmt.Sprintf("%.1f GB/s", p.PredC2MBytesPerSec/1e9),
+			fmt.Sprintf("%+.1f%%", p.BWErrPct),
+			fmt.Sprintf("%.0f ns", p.SimC2MReadLatencyNs),
+			fmt.Sprintf("%.0f ns", p.PredC2MReadLatencyNs),
+			fmt.Sprintf("%+.1f%%", p.LatErrPct))
 	}
 	t.Render(w)
 }

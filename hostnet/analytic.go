@@ -1,0 +1,61 @@
+package hostnet
+
+// The analytic fidelity tier, re-exported: the §7 predictive model
+// (configuration in, throughput and latency out, microseconds per answer)
+// as a public API, plus the JobSpec plumbing that routes a spec to it.
+// Setting JobSpec.Fidelity = FidelityAnalytic makes RunJob answer from the
+// model instead of the simulator — and makes hostnetd answer inline,
+// bypassing its queue. Specs outside the model's domain (fixed figures,
+// fabrics, faults, uncalibrated presets) fail with a typed
+// *analytic.UnsupportedError the daemon maps to HTTP 422.
+
+import (
+	"repro/internal/analytic"
+	"repro/internal/exp"
+)
+
+// Fidelity values for JobSpec.Fidelity. Absent and FidelitySim are the
+// same tier (the discrete-event simulator) and hash to the same content
+// address; FidelityAnalytic selects the predictive model and hashes
+// distinctly.
+const (
+	FidelitySim      = exp.FidelitySim
+	FidelityAnalytic = exp.FidelityAnalytic
+)
+
+// CrossvalEnvelopePct is the pinned analytic-vs-sim error envelope on
+// colocated C2M bandwidth (percent).
+const CrossvalEnvelopePct = exp.CrossvalEnvelopePct
+
+type (
+	// HWConfig parameterizes the predictive model's platform.
+	HWConfig = analytic.HWConfig
+	// Workload describes the offered load the model predicts under.
+	Workload = analytic.Workload
+	// Prediction is the model's answer for one (HWConfig, Workload).
+	Prediction = analytic.Prediction
+
+	// AnalyticPoint is one (quadrant, cores) answer from the model — the
+	// analytic tier's counterpart of QuadrantPoint.
+	AnalyticPoint = exp.AnalyticPoint
+	// CrossvalPoint compares the two fidelity tiers at one configuration.
+	CrossvalPoint = exp.CrossvalPoint
+	// CrossvalResult is the "crossval" experiment's payload.
+	CrossvalResult = exp.CrossvalResult
+)
+
+var (
+	// Predict evaluates the §7 model directly.
+	Predict = analytic.Predict
+	// CascadeLakeHW is the calibrated default platform.
+	CascadeLakeHW = analytic.CascadeLakeHW
+	// RunCrossval runs a quadrant sweep on both tiers and reports the
+	// analytic error per point.
+	RunCrossval = exp.RunCrossval
+)
+
+// NewJobSpecResultValue is the fidelity-aware variant of
+// NewJobResultValue: for an analytic-fidelity spec the payload is
+// []AnalyticPoint regardless of experiment; otherwise it defers to the
+// experiment's sim result type.
+func NewJobSpecResultValue(spec JobSpec) any { return exp.NewSpecResultValue(spec) }

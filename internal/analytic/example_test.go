@@ -29,8 +29,8 @@ func ExampleInputs_ReadQueueingDelay() {
 // offered load in, the blue regime out.
 func ExamplePredict() {
 	hw := analytic.CascadeLakeHW()
-	iso := analytic.Predict(hw, analytic.Workload{C2MCores: 1})
-	co := analytic.Predict(hw, analytic.Workload{C2MCores: 1, P2MWriteBytesPerSec: 14e9})
+	iso, _ := analytic.Predict(hw, analytic.Workload{C2MCores: 1})
+	co, _ := analytic.Predict(hw, analytic.Workload{C2MCores: 1, P2MWriteBytesPerSec: 14e9})
 	fmt.Printf("isolated %.1f GB/s, colocated %.1f GB/s, P2M %.1f GB/s\n",
 		iso.C2MBytesPerSec/1e9, co.C2MBytesPerSec/1e9, co.P2MBytesPerSec/1e9)
 	// Output:

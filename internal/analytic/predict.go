@@ -10,12 +10,15 @@ package analytic
 //
 //	L = Constant + QD_read(inputs(L))
 //
-// by iteration. It deliberately inherits the published formula's
+// by damped iteration. It deliberately inherits the published formula's
 // simplifications; accuracy is validated against the simulator in
 // predict_test.go (within ~20% across the quadrant-1 sweep — cruder than
 // the measured-input mode, as expected of a pure predictor).
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // HWConfig is the hardware half of the prediction input.
 type HWConfig struct {
@@ -58,7 +61,49 @@ func CascadeLakeHW() HWConfig {
 	}
 }
 
-// Workload is the offered-load half: a quadrant-1-style colocation.
+// validate rejects hardware configurations outside the model's domain
+// before the solver can turn them into NaN/Inf arithmetic.
+func (hw HWConfig) validate() error {
+	for _, c := range []struct {
+		name      string
+		v         float64
+		strictPos bool
+	}{
+		{"TTransNs", hw.TTransNs, true},
+		{"UnloadedReadNs", hw.UnloadedReadNs, true},
+		{"UnloadedP2MWrNs", hw.UnloadedP2MWrNs, true},
+		{"TActNs", hw.TActNs, false},
+		{"TPreNs", hw.TPreNs, false},
+		{"TWTRNs", hw.TWTRNs, false},
+		{"TRTWNs", hw.TRTWNs, false},
+		{"UnloadedWriteNs", hw.UnloadedWriteNs, false},
+		{"PCIeBytesPerSec", hw.PCIeBytesPerSec, false},
+	} {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) || c.v < 0 || (c.strictPos && c.v == 0) {
+			return fmt.Errorf("analytic: HWConfig.%s = %v outside the model's domain", c.name, c.v)
+		}
+	}
+	for _, c := range []struct {
+		name string
+		v    int
+	}{
+		{"Channels", hw.Channels},
+		{"DrainBatch", hw.DrainBatch},
+		{"LFBCredits", hw.LFBCredits},
+		{"RowLines", hw.RowLines},
+		{"BanksPerChannel", hw.BanksPerChannel},
+	} {
+		if c.v < 1 {
+			return fmt.Errorf("analytic: HWConfig.%s = %d < 1", c.name, c.v)
+		}
+	}
+	if hw.IIOWriteCredits < 0 {
+		return fmt.Errorf("analytic: HWConfig.IIOWriteCredits = %d < 0", hw.IIOWriteCredits)
+	}
+	return nil
+}
+
+// Workload is the offered-load half: a quadrant-style colocation.
 type Workload struct {
 	C2MCores int
 	// C2MWrites adds the RFO+writeback expansion (quadrant 3 style).
@@ -66,6 +111,29 @@ type Workload struct {
 	// P2MWriteBytesPerSec is the device's offered DMA-write load (0 for
 	// none; capped at the link rate).
 	P2MWriteBytesPerSec float64
+	// P2MReadBytesPerSec is the device's offered DMA-read load (quadrant
+	// 2/4 style: the NIC transmits from host memory). DMA reads share the
+	// read path — RPQ occupancy and channel capacity — but never touch the
+	// WPQ, which is why these quadrants sit in the paper's blue regime.
+	P2MReadBytesPerSec float64
+}
+
+func (w Workload) validate() error {
+	if w.C2MCores < 0 {
+		return fmt.Errorf("analytic: Workload.C2MCores = %d < 0", w.C2MCores)
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"P2MWriteBytesPerSec", w.P2MWriteBytesPerSec},
+		{"P2MReadBytesPerSec", w.P2MReadBytesPerSec},
+	} {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) || c.v < 0 {
+			return fmt.Errorf("analytic: Workload.%s = %v outside the model's domain", c.name, c.v)
+		}
+	}
+	return nil
 }
 
 // Prediction is the model output.
@@ -79,9 +147,52 @@ type Prediction struct {
 	Breakdown Components
 }
 
+// Solver bounds: the fixed point either settles within convergenceNs in
+// maxIterations damped steps or the solver reports NonConvergenceError.
+const (
+	maxIterations = 100
+	convergenceNs = 0.01
+)
+
+// NonConvergenceError reports that the latency fixed point failed to
+// settle: the iterate diverged, oscillated past the iteration cap, or left
+// the real line. The prediction is unavailable — earlier versions silently
+// returned the last iterate, which Throughput's latency<=0 clamp then
+// masked as a zero-bandwidth "answer" downstream.
+type NonConvergenceError struct {
+	Iterations int
+	Last       float64 // last latency iterate, ns
+	Delta      float64 // last step magnitude, ns
+}
+
+func (e *NonConvergenceError) Error() string {
+	return fmt.Sprintf("analytic: latency fixed point did not converge after %d iterations (last iterate %.4g ns, step %.4g ns)",
+		e.Iterations, e.Last, e.Delta)
+}
+
+// UnsupportedError reports a request outside the model's domain: specs the
+// §7 predictor has no terms for (fabric topologies, fault schedules,
+// trace-driven apps, uncalibrated testbeds). hostnetd maps it to HTTP 422
+// so clients can fall back to the sim fidelity tier.
+type UnsupportedError struct{ Reason string }
+
+func (e *UnsupportedError) Error() string {
+	return "analytic tier cannot answer this spec: " + e.Reason
+}
+
 // Predict solves the latency fixed point for the given hardware and load.
-func Predict(hw HWConfig, w Workload) Prediction {
-	p2m := math.Min(w.P2MWriteBytesPerSec, hw.PCIeBytesPerSec)
+// It returns an error for inputs outside the model's domain and a
+// *NonConvergenceError when the fixed point fails to settle; it never
+// returns NaN/Inf predictions.
+func Predict(hw HWConfig, w Workload) (Prediction, error) {
+	if err := hw.validate(); err != nil {
+		return Prediction{}, err
+	}
+	if err := w.validate(); err != nil {
+		return Prediction{}, err
+	}
+	p2mW := math.Min(w.P2MWriteBytesPerSec, hw.PCIeBytesPerSec)
+	p2mR := math.Min(w.P2MReadBytesPerSec, hw.PCIeBytesPerSec)
 	n := float64(w.C2MCores)
 	credits := float64(hw.LFBCredits)
 
@@ -91,39 +202,47 @@ func Predict(hw HWConfig, w Workload) Prediction {
 	// row-miss ratio stays low for sequential streams; model it as the
 	// stream-count-scaled row boundary rate.
 	streams := n
-	if p2m > 0 {
+	if p2mW > 0 || p2mR > 0 {
 		streams++
 	}
 	rowMiss := math.Min(0.5, streams/float64(hw.RowLines)*2)
 
+	// Device DMA reads occupy the RPQ at the line rate implied by the
+	// offered load; they are latency-insensitive (posted, deeply credited)
+	// so their rate does not depend on L.
+	devReadRate := p2mR / 64 / 1e9 / float64(hw.Channels) // lines per ns per channel
+
 	L := hw.UnloadedReadNs
 	var qd Components
+	converged := false
 	var iter int
-	for iter = 0; iter < 100; iter++ {
+	var delta float64
+	for iter = 0; iter < maxIterations; iter++ {
 		// Per-channel line rates implied by the current latency estimate.
 		readRate := n * credits / L / float64(hw.Channels) // lines per ns per channel
 		if w.C2MWrites {
 			// Credits alternate read/write; reads get the L_r share.
 			readRate = n * credits / (L + hw.UnloadedWriteNs) / float64(hw.Channels)
 		}
-		writeRate := p2m / 64 / 1e9 / float64(hw.Channels) // lines per ns
+		totalReadRate := readRate + devReadRate
+		writeRate := p2mW / 64 / 1e9 / float64(hw.Channels) // lines per ns
 		if w.C2MWrites {
 			writeRate += readRate // one writeback per RFO
 		}
 
 		// Formula inputs, modeled rather than measured.
 		linesRatio := 0.0
-		if readRate > 0 {
-			linesRatio = writeRate / readRate
+		if totalReadRate > 0 {
+			linesRatio = writeRate / totalReadRate
 		}
 		// In-flight reads at the MC per channel: the fraction of the domain
 		// latency spent at/behind the controller.
 		mcResident := (L - hw.UnloadedReadNs) + 20 // queueing + baseline MC time
-		orpq := math.Max(1, readRate*mcResident)
+		orpq := math.Max(1, totalReadRate*mcResident)
 		// Switches: one drain round trip per DrainBatch writes.
 		switchesPerRead := 0.0
-		if readRate > 0 {
-			switchesPerRead = writeRate / float64(hw.DrainBatch) / readRate
+		if totalReadRate > 0 {
+			switchesPerRead = writeRate / float64(hw.DrainBatch) / totalReadRate
 		}
 
 		var c Components
@@ -136,12 +255,20 @@ func Predict(hw HWConfig, w Workload) Prediction {
 
 		next := hw.UnloadedReadNs + c.Total()
 		qd = c
-		if math.Abs(next-L) < 0.01 {
+		delta = math.Abs(next - L)
+		if math.IsNaN(next) || math.IsInf(next, 0) || next <= 0 {
+			return Prediction{}, &NonConvergenceError{Iterations: iter + 1, Last: L, Delta: delta}
+		}
+		if delta < convergenceNs {
 			L = next
+			converged = true
 			break
 		}
 		// Damped update for stability.
 		L = 0.5*L + 0.5*next
+	}
+	if !converged {
+		return Prediction{}, &NonConvergenceError{Iterations: maxIterations, Last: L, Delta: delta}
 	}
 
 	pred := Prediction{C2MReadLatencyNs: L, Iterations: iter + 1, Breakdown: qd}
@@ -150,23 +277,25 @@ func Predict(hw HWConfig, w Workload) Prediction {
 	} else {
 		pred.C2MBytesPerSec = n * Throughput(hw.LFBCredits, L)
 	}
-	// Channel capacity bound: reads+writes cannot exceed the wire.
+	// Channel capacity bound: reads+writes cannot exceed the wire. C2M
+	// bytes already counts reads+writes in the C2MWrites case; device DMA
+	// in either direction consumes the same wire.
 	cap := float64(hw.Channels) * 64 / hw.TTransNs * 1e9 * 0.82 // efficiency margin
 	total := pred.C2MBytesPerSec
-	if w.C2MWrites {
-		// C2M bytes already counts reads+writes.
-	}
-	if total+p2m > cap {
-		scale := math.Max(0, cap-p2m) / total
+	dev := p2mW + p2mR
+	if total > 0 && total+dev > cap {
+		scale := math.Max(0, cap-dev) / total
 		pred.C2MBytesPerSec *= scale
 	}
 
-	// P2M: link-bound while spare credits cover the latency.
-	neededCredits := p2m * (hw.UnloadedP2MWrNs * 1e-9) / 64
+	// P2M-Write: link-bound while spare IIO credits cover the latency.
+	// P2M-Read never consumes write credits (blue regime: link-bound).
+	pred.P2MBytesPerSec = p2mR
+	neededCredits := p2mW * (hw.UnloadedP2MWrNs * 1e-9) / 64
 	if neededCredits < float64(hw.IIOWriteCredits) {
-		pred.P2MBytesPerSec = p2m
+		pred.P2MBytesPerSec += p2mW
 	} else {
-		pred.P2MBytesPerSec = float64(hw.IIOWriteCredits) * 64 / (hw.UnloadedP2MWrNs * 1e-9)
+		pred.P2MBytesPerSec += float64(hw.IIOWriteCredits) * 64 / (hw.UnloadedP2MWrNs * 1e-9)
 	}
-	return pred
+	return pred, nil
 }

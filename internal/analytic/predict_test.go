@@ -1,12 +1,25 @@
 package analytic
 
 import (
+	"errors"
 	"math"
+	"math/rand"
 	"testing"
 )
 
+// mustPredict fails the test on any solver error; the calibrated Cascade
+// Lake configuration must always converge.
+func mustPredict(t *testing.T, hw HWConfig, w Workload) Prediction {
+	t.Helper()
+	p, err := Predict(hw, w)
+	if err != nil {
+		t.Fatalf("Predict(%+v): %v", w, err)
+	}
+	return p
+}
+
 func TestPredictUnloadedMatchesCalibration(t *testing.T) {
-	p := Predict(CascadeLakeHW(), Workload{C2MCores: 1})
+	p := mustPredict(t, CascadeLakeHW(), Workload{C2MCores: 1})
 	// One core alone: latency near the unloaded 70 ns, throughput near
 	// 12*64/70ns = 11 GB/s.
 	if p.C2MReadLatencyNs < 70 || p.C2MReadLatencyNs > 85 {
@@ -19,8 +32,8 @@ func TestPredictUnloadedMatchesCalibration(t *testing.T) {
 
 func TestPredictBlueRegimeShape(t *testing.T) {
 	hw := CascadeLakeHW()
-	iso := Predict(hw, Workload{C2MCores: 1})
-	co := Predict(hw, Workload{C2MCores: 1, P2MWriteBytesPerSec: 14e9})
+	iso := mustPredict(t, hw, Workload{C2MCores: 1})
+	co := mustPredict(t, hw, Workload{C2MCores: 1, P2MWriteBytesPerSec: 14e9})
 	degr := iso.C2MBytesPerSec / co.C2MBytesPerSec
 	t.Logf("predicted 1-core Q1: L %.0f->%.0f ns, degradation %.2fx", iso.C2MReadLatencyNs, co.C2MReadLatencyNs, degr)
 	if degr < 1.1 || degr > 1.8 {
@@ -32,11 +45,35 @@ func TestPredictBlueRegimeShape(t *testing.T) {
 	}
 }
 
+func TestPredictDMAReadQuadrantIsBlue(t *testing.T) {
+	// Quadrant 2/4 style: the device reads host memory. DMA reads bypass
+	// the WPQ entirely, so the degradation must stay mild (the paper's blue
+	// regime) and the device must get its link rate.
+	hw := CascadeLakeHW()
+	iso := mustPredict(t, hw, Workload{C2MCores: 1})
+	co := mustPredict(t, hw, Workload{C2MCores: 1, P2MReadBytesPerSec: 14e9})
+	degr := iso.C2MBytesPerSec / co.C2MBytesPerSec
+	t.Logf("predicted 1-core Q2: L %.0f->%.0f ns, degradation %.2fx", iso.C2MReadLatencyNs, co.C2MReadLatencyNs, degr)
+	if degr < 1.0 || degr > 1.8 {
+		t.Fatalf("predicted DMA-read degradation %.2fx outside the blue band", degr)
+	}
+	if co.P2MBytesPerSec < 13.9e9 {
+		t.Fatalf("P2M reads predicted to degrade (%.2f GB/s) in the blue regime", co.P2MBytesPerSec/1e9)
+	}
+	// And a DMA-read stream must hurt no more than the same load as DMA
+	// writes (which contend for the WPQ and force drain switches).
+	wr := mustPredict(t, hw, Workload{C2MCores: 1, P2MWriteBytesPerSec: 14e9})
+	if co.C2MReadLatencyNs > wr.C2MReadLatencyNs {
+		t.Fatalf("DMA reads predicted worse than DMA writes: %.1f vs %.1f ns",
+			co.C2MReadLatencyNs, wr.C2MReadLatencyNs)
+	}
+}
+
 func TestPredictMonotoneInLoad(t *testing.T) {
 	hw := CascadeLakeHW()
 	prev := math.Inf(1)
 	for _, p2m := range []float64{0, 7e9, 14e9} {
-		p := Predict(hw, Workload{C2MCores: 2, P2MWriteBytesPerSec: p2m})
+		p := mustPredict(t, hw, Workload{C2MCores: 2, P2MWriteBytesPerSec: p2m})
 		perCore := p.C2MBytesPerSec
 		if perCore > prev*1.001 {
 			t.Fatalf("C2M throughput increased with P2M load (%.2f after %.2f GB/s)",
@@ -48,7 +85,7 @@ func TestPredictMonotoneInLoad(t *testing.T) {
 
 func TestPredictConverges(t *testing.T) {
 	for cores := 1; cores <= 6; cores++ {
-		p := Predict(CascadeLakeHW(), Workload{C2MCores: cores, P2MWriteBytesPerSec: 14e9})
+		p := mustPredict(t, CascadeLakeHW(), Workload{C2MCores: cores, P2MWriteBytesPerSec: 14e9})
 		if p.Iterations >= 100 {
 			t.Fatalf("fixed point did not converge at %d cores", cores)
 		}
@@ -60,19 +97,144 @@ func TestPredictConverges(t *testing.T) {
 
 func TestPredictCapacityBound(t *testing.T) {
 	// 6 cores alone demand ~65 GB/s; the 2-channel wire allows ~47 * 0.82.
-	p := Predict(CascadeLakeHW(), Workload{C2MCores: 6})
+	p := mustPredict(t, CascadeLakeHW(), Workload{C2MCores: 6})
 	if p.C2MBytesPerSec > 40e9 {
 		t.Fatalf("prediction %.1f GB/s exceeds channel capacity", p.C2MBytesPerSec/1e9)
 	}
 }
 
 func TestPredictReadWriteExpansion(t *testing.T) {
-	ro := Predict(CascadeLakeHW(), Workload{C2MCores: 2})
-	rw := Predict(CascadeLakeHW(), Workload{C2MCores: 2, C2MWrites: true})
+	ro := mustPredict(t, CascadeLakeHW(), Workload{C2MCores: 2})
+	rw := mustPredict(t, CascadeLakeHW(), Workload{C2MCores: 2, C2MWrites: true})
 	// ReadWrite moves two lines per credit cycle: higher total bytes at
 	// similar latency.
 	if rw.C2MBytesPerSec < ro.C2MBytesPerSec {
 		t.Fatalf("rw prediction %.1f below read-only %.1f GB/s",
 			rw.C2MBytesPerSec/1e9, ro.C2MBytesPerSec/1e9)
+	}
+}
+
+func TestPredictRejectsDegenerateConfigs(t *testing.T) {
+	good := CascadeLakeHW()
+	bad := []func(*HWConfig){
+		func(hw *HWConfig) { hw.Channels = 0 },
+		func(hw *HWConfig) { hw.TTransNs = 0 },
+		func(hw *HWConfig) { hw.TTransNs = math.NaN() },
+		func(hw *HWConfig) { hw.UnloadedReadNs = -1 },
+		func(hw *HWConfig) { hw.UnloadedP2MWrNs = 0 },
+		func(hw *HWConfig) { hw.DrainBatch = 0 },
+		func(hw *HWConfig) { hw.LFBCredits = 0 },
+		func(hw *HWConfig) { hw.RowLines = 0 },
+		func(hw *HWConfig) { hw.PCIeBytesPerSec = math.Inf(1) },
+		func(hw *HWConfig) { hw.IIOWriteCredits = -1 },
+	}
+	for i, mutate := range bad {
+		hw := good
+		mutate(&hw)
+		if _, err := Predict(hw, Workload{C2MCores: 1}); err == nil {
+			t.Errorf("mutation %d: degenerate config accepted", i)
+		}
+	}
+	if _, err := Predict(good, Workload{C2MCores: -1}); err == nil {
+		t.Errorf("negative core count accepted")
+	}
+	if _, err := Predict(good, Workload{C2MCores: 1, P2MWriteBytesPerSec: math.NaN()}); err == nil {
+		t.Errorf("NaN offered load accepted")
+	}
+}
+
+// TestPredictNeverNaN is the solver's safety property: over random
+// hardware configurations and loads, Predict either returns a fully finite
+// prediction or a typed error — never NaN/Inf, never a silently bogus last
+// iterate (which Throughput's latency<=0 clamp used to mask as 0 GB/s).
+func TestPredictNeverNaN(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Occasionally degenerate draws: zeros, NaN, Inf, negatives, huge
+	// magnitudes — validation must catch what the solver cannot survive.
+	rf := func(scale float64) float64 {
+		switch rng.Intn(10) {
+		case 0:
+			return 0
+		case 1:
+			return math.NaN()
+		case 2:
+			return math.Inf(1)
+		case 3:
+			return -scale * rng.Float64()
+		case 4:
+			return scale * 1e12 * rng.Float64()
+		default:
+			return scale * rng.Float64()
+		}
+	}
+	ri := func(n int) int { return rng.Intn(n+4) - 2 }
+	for i := 0; i < 20000; i++ {
+		hw := HWConfig{
+			Channels:        ri(8),
+			TTransNs:        rf(10),
+			TActNs:          rf(30),
+			TPreNs:          rf(30),
+			TWTRNs:          rf(30),
+			TRTWNs:          rf(30),
+			DrainBatch:      ri(64),
+			LFBCredits:      ri(64),
+			UnloadedReadNs:  rf(200),
+			UnloadedWriteNs: rf(50),
+			IIOWriteCredits: ri(256),
+			UnloadedP2MWrNs: rf(600),
+			PCIeBytesPerSec: rf(30e9),
+			RowLines:        ri(256),
+			BanksPerChannel: ri(64),
+		}
+		w := Workload{
+			C2MCores:            ri(12),
+			C2MWrites:           rng.Intn(2) == 1,
+			P2MWriteBytesPerSec: rf(30e9),
+			P2MReadBytesPerSec:  rf(30e9),
+		}
+		p, err := Predict(hw, w)
+		if err != nil {
+			var nc *NonConvergenceError
+			if errors.As(err, &nc) && (math.IsNaN(nc.Last) || math.IsInf(nc.Last, 0)) {
+				t.Fatalf("case %d: non-convergence error carries non-finite iterate: %v", i, err)
+			}
+			continue
+		}
+		for name, v := range map[string]float64{
+			"C2MReadLatencyNs": p.C2MReadLatencyNs,
+			"C2MBytesPerSec":   p.C2MBytesPerSec,
+			"P2MBytesPerSec":   p.P2MBytesPerSec,
+			"Switching":        p.Breakdown.Switching,
+			"WriteHoL":         p.Breakdown.WriteHoL,
+			"ReadHoL":          p.Breakdown.ReadHoL,
+			"TopOfQueue":       p.Breakdown.TopOfQueue,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("case %d: hw=%+v w=%+v: %s = %v", i, hw, w, name, v)
+			}
+		}
+		if p.C2MReadLatencyNs <= 0 {
+			t.Fatalf("case %d: non-positive converged latency %v (hw=%+v w=%+v)", i, p.C2MReadLatencyNs, hw, w)
+		}
+	}
+}
+
+func TestPredictNonConvergenceIsTyped(t *testing.T) {
+	// Extreme switch/burst times make the write-HoL term grow faster than
+	// damping can settle it. Whatever the failure mode, it must surface as
+	// the typed error, not as a garbage prediction.
+	hw := CascadeLakeHW()
+	hw.TWTRNs = 1e9
+	hw.TTransNs = 1e9
+	_, err := Predict(hw, Workload{C2MCores: 6, C2MWrites: true, P2MWriteBytesPerSec: 14e9})
+	if err == nil {
+		t.Skip("configuration converged; divergence not reachable here")
+	}
+	var nc *NonConvergenceError
+	if !errors.As(err, &nc) {
+		t.Fatalf("error is not *NonConvergenceError: %v", err)
+	}
+	if nc.Iterations < 1 {
+		t.Fatalf("NonConvergenceError has no iteration count: %+v", nc)
 	}
 }

@@ -1,0 +1,205 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/fault"
+)
+
+// Fidelity participates in content addressing exactly as specified: absent
+// and "sim" are the same address (no existing store entry moves), analytic
+// is a distinct address, and — because the model reads no clock — every
+// (warmup, window) variant of an analytic spec collapses onto one address.
+func TestFidelityHashInvariance(t *testing.T) {
+	base := Spec{Experiment: "quadrant", Quadrant: 1, Cores: []int{2}, WarmupNs: 1000, WindowNs: 2000}
+	hash := func(s Spec) string {
+		t.Helper()
+		h, err := s.Hash()
+		if err != nil {
+			t.Fatalf("hash %+v: %v", s, err)
+		}
+		return h
+	}
+
+	absent := hash(base)
+	sim := base
+	sim.Fidelity = FidelitySim
+	if got := hash(sim); got != absent {
+		t.Fatalf("fidelity \"sim\" hash %s != absent-fidelity hash %s: legacy addresses moved", got, absent)
+	}
+	cb, err := base.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := sim.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cb, cs) {
+		t.Fatalf("canonical bytes differ:\n%s\n%s", cb, cs)
+	}
+	if bytes.Contains(cb, []byte("fidelity")) {
+		t.Fatalf("canonical sim spec leaks the fidelity field: %s", cb)
+	}
+
+	an := base
+	an.Fidelity = FidelityAnalytic
+	anHash := hash(an)
+	if anHash == absent {
+		t.Fatal("analytic spec hashes like the sim spec: the tiers would collide in the store")
+	}
+	anOtherWindow := an
+	anOtherWindow.WarmupNs, anOtherWindow.WindowNs = 77777, 999999
+	if got := hash(anOtherWindow); got != anHash {
+		t.Fatalf("analytic hash varies with the unread window knobs: %s != %s", got, anHash)
+	}
+
+	bad := base
+	bad.Fidelity = "psychic"
+	if err := bad.Normalized().Validate(); err == nil {
+		t.Fatal("unknown fidelity value validated")
+	}
+}
+
+// The analytic tier answers exactly the experiments with a model mapping
+// and rejects the rest with a typed UnsupportedError (hostnetd's 422).
+func TestRunSpecAnalyticSupportMatrix(t *testing.T) {
+	supported := []Spec{
+		{Experiment: "quadrant", Quadrant: 2, Cores: []int{1, 3}, Fidelity: FidelityAnalytic},
+		{Experiment: "rdma", Quadrant: 4, Cores: []int{2}, Fidelity: FidelityAnalytic},
+		{Experiment: "hostcc", Fidelity: FidelityAnalytic},
+	}
+	wantPoints := []int{2, 1, 1}
+	for i, spec := range supported {
+		out, err := RunSpec(spec, Defaults())
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Experiment, err)
+		}
+		pts, ok := out.([]AnalyticPoint)
+		if !ok {
+			t.Fatalf("%s: result is %T, want []AnalyticPoint", spec.Experiment, out)
+		}
+		if len(pts) != wantPoints[i] {
+			t.Fatalf("%s: %d points, want %d", spec.Experiment, len(pts), wantPoints[i])
+		}
+		for _, p := range pts {
+			if p.Co.C2MBytesPerSec <= 0 || math.IsNaN(p.C2MDegradation()) {
+				t.Fatalf("%s: degenerate point %+v", spec.Experiment, p)
+			}
+		}
+	}
+
+	unsupported := []Spec{
+		{Experiment: "fig3", Fidelity: FidelityAnalytic},
+		{Experiment: "incast", Fidelity: FidelityAnalytic},
+		{Experiment: "faultsweep", Fidelity: FidelityAnalytic},
+		{Experiment: "quadrant", DDIO: true, Fidelity: FidelityAnalytic},
+		{Experiment: "quadrant", Preset: "icelake", Fidelity: FidelityAnalytic},
+		{Experiment: "quadrant", Fidelity: FidelityAnalytic,
+			Faults: []fault.Window{{Kind: fault.PauseStorm, StartNs: 1000, DurationNs: 1000}}},
+	}
+	for _, spec := range unsupported {
+		_, err := RunSpec(spec, Defaults())
+		var unsup *analytic.UnsupportedError
+		if !errors.As(err, &unsup) {
+			t.Fatalf("%s (ddio=%v preset=%q faults=%d): err %v, want *analytic.UnsupportedError",
+				spec.Experiment, spec.DDIO, spec.Preset, len(spec.Faults), err)
+		}
+	}
+
+	// crossval inherently needs the simulator half; analytic fidelity on it
+	// is a validation error, not a 422 (the spec is self-contradictory).
+	cv := Spec{Experiment: "crossval", Fidelity: FidelityAnalytic}
+	if err := cv.Normalized().Validate(); err == nil {
+		t.Fatal("crossval with analytic fidelity validated")
+	}
+}
+
+// The crossval experiment rides the standard envelope machinery: its
+// result round-trips through RunSpecJSON, decodes via NewResultValue, and
+// its per-core shards merge back byte-identically (the fleet contract).
+func TestCrossvalRoundTripAndMerge(t *testing.T) {
+	spec := Spec{Experiment: "crossval", Quadrant: 1, Cores: []int{1, 2}, WarmupNs: 1000, WindowNs: 2000}
+	parent, err := RunSpecJSON(spec, Defaults())
+	if err != nil {
+		t.Fatalf("crossval run: %v", err)
+	}
+
+	var env struct {
+		Spec   Spec            `json:"spec"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(parent, &env); err != nil {
+		t.Fatalf("decoding envelope: %v", err)
+	}
+	out := NewResultValue("crossval")
+	cv, ok := out.(*CrossvalResult)
+	if !ok {
+		t.Fatalf("NewResultValue(crossval) = %T, want *CrossvalResult", out)
+	}
+	if err := json.Unmarshal(env.Result, cv); err != nil {
+		t.Fatalf("decoding payload: %v", err)
+	}
+	if len(cv.Points) != 2 || cv.Points[0].Cores != 1 || cv.Points[1].Cores != 2 {
+		t.Fatalf("payload points: %+v", cv.Points)
+	}
+	dec, err := DecodeCrossval(parent)
+	if err != nil || len(dec.Points) != 2 {
+		t.Fatalf("DecodeCrossval: %v (%+v)", err, dec)
+	}
+
+	subs := spec.Points()
+	if len(subs) != 2 {
+		t.Fatalf("crossval Points() = %d sub-specs, want 2", len(subs))
+	}
+	parts := make([][]byte, len(subs))
+	for i, sub := range subs {
+		if parts[i], err = RunSpecJSON(sub, Defaults()); err != nil {
+			t.Fatalf("sub %d: %v", i, err)
+		}
+	}
+	merged, err := MergePointResults(spec, parts)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if !bytes.Equal(merged, parent) {
+		t.Fatalf("merged crossval differs from single-node run:\n got %s\nwant %s", merged, parent)
+	}
+}
+
+// Analytic specs never shard: the answer is microseconds of arithmetic.
+func TestAnalyticSpecDoesNotSplit(t *testing.T) {
+	spec := Spec{Experiment: "quadrant", Cores: []int{1, 2, 3}, Fidelity: FidelityAnalytic}
+	if pts := spec.Points(); pts != nil {
+		t.Fatalf("analytic spec split into %d sub-specs, want none", len(pts))
+	}
+	if got := SpecTasks(spec.Normalized()); got != 0 {
+		t.Fatalf("SpecTasks(analytic) = %d, want 0 (no sweep-progress accounting)", got)
+	}
+}
+
+// The CI crossval tier: on the quadrant-1 sweep at the paper's default
+// windows, the analytic tier's colocated-C2M-bandwidth error stays inside
+// the pinned envelope. Kept -short-friendly (three points, ~a second) so
+// it runs under -race in CI.
+func TestCrossvalEnvelopeQ1(t *testing.T) {
+	cv, err := RunCrossval(Q1, []int{1, 2, 4}, Defaults())
+	if err != nil {
+		t.Fatalf("crossval: %v", err)
+	}
+	if len(cv.Points) != 3 {
+		t.Fatalf("%d points, want 3", len(cv.Points))
+	}
+	for _, p := range cv.Points {
+		t.Logf("cores=%d: sim %.1f GB/s, pred %.1f GB/s, err %+.1f%% (envelope ±%d%%)",
+			p.Cores, p.SimC2MBytesPerSec/1e9, p.PredC2MBytesPerSec/1e9, p.BWErrPct, CrossvalEnvelopePct)
+		if math.Abs(p.BWErrPct) > CrossvalEnvelopePct {
+			t.Errorf("cores=%d: error %.1f%% outside the ±%d%% envelope", p.Cores, p.BWErrPct, CrossvalEnvelopePct)
+		}
+	}
+}

@@ -41,8 +41,13 @@ func (s Spec) Points() []Spec {
 	if n.Validate() != nil {
 		return nil
 	}
+	if n.Fidelity == FidelityAnalytic {
+		// Analytic answers are microseconds of arithmetic: sharding one
+		// across a fleet costs more than answering it.
+		return nil
+	}
 	switch n.Experiment {
-	case "quadrant", "rdma", "faultsweep":
+	case "quadrant", "rdma", "faultsweep", "crossval":
 		if len(n.Cores) < 2 {
 			return nil
 		}
@@ -131,6 +136,8 @@ func MergePointResults(s Spec, parts [][]byte) ([]byte, error) {
 		merged, err = mergeFaultSweep(payloads)
 	case "incast":
 		merged, err = mergeIncast(payloads)
+	case "crossval":
+		merged, err = mergeCrossval(payloads)
 	default:
 		err = fmt.Errorf("merge: experiment %q splits but has no merger", n.Experiment)
 	}
@@ -173,6 +180,25 @@ func mergeFaultSweep(payloads []json.RawMessage) (*FaultSweep, error) {
 			out = &head
 		}
 		out.Points = append(out.Points, fs.Points...)
+	}
+	return out, nil
+}
+
+// mergeCrossval zips per-core CrossvalResult fragments back into one
+// sweep; the quadrant is common to every fragment.
+func mergeCrossval(payloads []json.RawMessage) (*CrossvalResult, error) {
+	var out *CrossvalResult
+	for i, raw := range payloads {
+		var cv CrossvalResult
+		if err := json.Unmarshal(raw, &cv); err != nil {
+			return nil, fmt.Errorf("merge: decoding point %d payload: %w", i, err)
+		}
+		if out == nil {
+			head := cv
+			head.Points = nil
+			out = &head
+		}
+		out.Points = append(out.Points, cv.Points...)
 	}
 	return out, nil
 }

@@ -15,6 +15,10 @@ func TestPointsShape(t *testing.T) {
 		{"quadrant sweep", Spec{Experiment: "quadrant", Quadrant: 2, Cores: []int{1, 3, 5}}, 3},
 		{"rdma sweep", Spec{Experiment: "rdma", Cores: []int{2, 4}}, 2},
 		{"faultsweep", Spec{Experiment: "faultsweep", Cores: []int{2, 4, 6}}, 3},
+		{"crossval sweep", Spec{Experiment: "crossval", Cores: []int{1, 2, 4}}, 3},
+		{"single-point crossval", Spec{Experiment: "crossval", Cores: []int{2}}, 0},
+		// Analytic answers are microseconds of arithmetic: never sharded.
+		{"analytic quadrant", Spec{Experiment: "quadrant", Cores: []int{1, 3, 5}, Fidelity: FidelityAnalytic}, 0},
 		{"incast default rack", Spec{Experiment: "incast", Fabric: &FabricSpec{Hosts: 4}}, 3}, // degrees 1..3
 		{"incast pinned degree", Spec{Experiment: "incast", Fabric: &FabricSpec{Hosts: 4, Degree: 2}}, 0},
 		{"incast flow matrix", Spec{Experiment: "incast", Fabric: &FabricSpec{Hosts: 3, Flows: []FlowSpec{{Src: 1, Dst: 0}}}}, 0},

@@ -17,7 +17,10 @@ func TestPredictorTracksSimulator(t *testing.T) {
 	opt := Defaults()
 	for _, cores := range []int{1, 2, 4} {
 		p := RunQuadrantPoint(Q1, cores, opt)
-		pred := analytic.Predict(hw, analytic.Workload{C2MCores: cores, P2MWriteBytesPerSec: 14e9})
+		pred, perr := analytic.Predict(hw, analytic.Workload{C2MCores: cores, P2MWriteBytesPerSec: 14e9})
+		if perr != nil {
+			t.Fatalf("cores=%d: %v", cores, perr)
+		}
 		simBW := p.Co.C2MBW
 		err := (pred.C2MBytesPerSec - simBW) / simBW * 100
 		t.Logf("cores=%d: sim %.1f GB/s, predicted %.1f GB/s (%.1f%%), L sim %.0f pred %.0f",

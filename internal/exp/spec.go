@@ -55,7 +55,21 @@ type Spec struct {
 	// Fabric is the rack shape and traffic pattern for multi-host
 	// experiments (incast). Nil means the experiment's default rack.
 	Fabric *FabricSpec `json:"fabric,omitempty"`
+	// Fidelity picks the tier that answers the spec: "sim" (default) runs
+	// the full discrete-event simulation; "analytic" answers from the §7
+	// predictive model in microseconds, for the specs the model covers
+	// (quadrant/rdma/hostcc points on the calibrated testbed). Fidelity
+	// changes the result, so it participates in the content address —
+	// normalization maps "sim" to the absent field, keeping every
+	// pre-fidelity content address unchanged.
+	Fidelity string `json:"fidelity,omitempty"`
 }
+
+// The fidelity tiers.
+const (
+	FidelitySim      = "sim"
+	FidelityAnalytic = "analytic"
+)
 
 // Default simulated intervals (§2.2: 20 us warmup, 100 us window).
 const (
@@ -114,6 +128,11 @@ var specShapes = map[string]specShape{
 	// whose host network is the bottleneck. Cores[0] is the receiver's
 	// colocated C2M core count; the fabric section shapes the rack.
 	"incast": {preset: true, ddio: true, cores: true, faults: true, fabric: true, defCores: []int{4}},
+	// crossval runs both fidelity tiers on the same quadrant points and
+	// reports the analytic-vs-sim error per point. The analytic side fixes
+	// its own testbed (Cascade Lake, DDIO off, no faults), so only the
+	// quadrant and core sweep are honored.
+	"crossval": {quadrant: true, cores: true, defQuadrant: 1},
 }
 
 // Experiments lists the valid Spec.Experiment names, sorted.
@@ -140,6 +159,20 @@ func (s Spec) Normalized() Spec {
 	}
 	if n.WindowNs <= 0 {
 		n.WindowNs = DefaultWindowNs
+	}
+	// "sim" is the default tier: normalize it to the absent field so specs
+	// submitted before fidelity existed keep their content addresses
+	// byte-for-byte (pinned by TestFidelityHashInvariance). Any other
+	// value — including unknown ones Validate rejects — is kept and hashes
+	// distinctly.
+	if s.Fidelity != "" && s.Fidelity != FidelitySim {
+		n.Fidelity = s.Fidelity
+	}
+	if n.Fidelity == FidelityAnalytic {
+		// The closed-form model has no simulated clock: the interval knobs
+		// are unread, so clear them like any other unread knob and let
+		// every (warmup, window) variant collapse onto one address.
+		n.WarmupNs, n.WindowNs = 0, 0
 	}
 	shape, ok := specShapes[s.Experiment]
 	if !ok {
@@ -220,6 +253,14 @@ func (s Spec) Validate() error {
 	}
 	if s.WarmupNs < 0 || s.WindowNs < 0 {
 		return fmt.Errorf("negative interval: warmup_ns=%d window_ns=%d", s.WarmupNs, s.WindowNs)
+	}
+	switch s.Fidelity {
+	case "", FidelitySim, FidelityAnalytic:
+	default:
+		return fmt.Errorf("unknown fidelity %q (valid: %q, %q)", s.Fidelity, FidelitySim, FidelityAnalytic)
+	}
+	if s.Fidelity == FidelityAnalytic && s.Experiment == "crossval" {
+		return fmt.Errorf("crossval is inherently cross-fidelity; submit it without fidelity=analytic")
 	}
 	if shape.preset {
 		switch s.Preset {
@@ -322,6 +363,12 @@ func RunSpec(s Spec, opt Options) (v any, err error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
+	if n.Fidelity == FidelityAnalytic {
+		// The analytic tier is pure arithmetic: no engine, no options, no
+		// cancellation window. Specs outside the model's domain come back
+		// as a wrapped *analytic.UnsupportedError (HTTP 422 in hostnetd).
+		return runSpecAnalytic(n)
+	}
 	opt = n.options(opt)
 	// The sweep helpers (pdo/pmap) re-raise pool errors as panics because
 	// the typed Run* entry points have no error returns; at this boundary a
@@ -380,6 +427,8 @@ func RunSpec(s Spec, opt Options) (v any, err error) {
 		return RunFaultSweep(Quadrant(n.Quadrant), n.Cores, fault.Schedule(n.Faults), opt), nil
 	case "incast":
 		return RunIncast(*n.Fabric, n.Cores[0], fault.Schedule(n.Faults), opt), nil
+	case "crossval":
+		return RunCrossval(Quadrant(n.Quadrant), n.Cores, opt)
 	}
 	return nil, fmt.Errorf("experiment %q validated but not dispatchable", n.Experiment)
 }
@@ -423,8 +472,20 @@ func NewResultValue(experiment string) any {
 		return &FaultSweep{}
 	case "incast":
 		return &IncastSweep{}
+	case "crossval":
+		return &CrossvalResult{}
 	}
 	return nil
+}
+
+// NewSpecResultValue is the fidelity-aware variant of NewResultValue: an
+// analytic-fidelity spec's payload decodes into []AnalyticPoint regardless
+// of experiment, a sim spec's into the experiment's sim result type.
+func NewSpecResultValue(s Spec) any {
+	if s.Normalized().Fidelity == FidelityAnalytic {
+		return &[]AnalyticPoint{}
+	}
+	return NewResultValue(s.Experiment)
 }
 
 // Result is the JSON envelope emitted for a completed spec: the normalized
@@ -460,6 +521,9 @@ func RunSpecJSON(s Spec, opt Options) ([]byte, error) {
 // show completion against a known denominator. 0 means unknown.
 func SpecTasks(s Spec) int {
 	n := s.Normalized()
+	if n.Fidelity == FidelityAnalytic {
+		return 0 // answered inline; no sweep tasks, no progress stream
+	}
 	// A quadrant-style sweep runs one task per core count plus one baseline;
 	// pdo/pmap also count the enclosing fan-out tasks.
 	sweep := func(counts int) int { return counts + 1 }
@@ -483,7 +547,7 @@ func SpecTasks(s Spec) int {
 		return 4 + 4*sweep(6)
 	case "fig15", "fig16", "fig17":
 		return 4 + 4*sweep(4)
-	case "quadrant", "rdma":
+	case "quadrant", "rdma", "crossval":
 		return sweep(len(n.Cores))
 	case "ratio":
 		return sweep(len(n.WriteFracs))

@@ -1,0 +1,123 @@
+package serve
+
+// The crossval tracker aggregates analytic-vs-sim error observations per
+// config-space region — one region per (experiment, quadrant, cores) — so
+// GET /crossval and the /metrics crossval section can report where the
+// predictive model's accuracy actually sits relative to the pinned
+// envelope. It is fed from two sources: completed crossval experiment jobs
+// (the result payload carries the comparison directly) and background
+// refinement pairs (analytic answer + sim twin, compared on the twin's
+// completion).
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/exp"
+)
+
+// CrossvalRegion is one aggregated region of the analytic-vs-sim error
+// report, as served by GET /crossval.
+type CrossvalRegion struct {
+	Experiment string `json:"experiment"`
+	Quadrant   int    `json:"quadrant"`
+	Cores      int    `json:"cores"`
+
+	Samples        int64   `json:"samples"`
+	MeanAbsErrPct  float64 `json:"mean_abs_err_pct"`
+	MaxAbsErrPct   float64 `json:"max_abs_err_pct"`
+	LastErrPct     float64 `json:"last_err_pct"`
+	WithinEnvelope bool    `json:"within_envelope"`
+}
+
+type crossvalKey struct {
+	experiment string
+	quadrant   int
+	cores      int
+}
+
+type crossvalRegion struct {
+	count  int64
+	sumAbs float64
+	maxAbs float64
+	last   float64
+}
+
+type crossvalTracker struct {
+	mu      sync.Mutex
+	regions map[crossvalKey]*crossvalRegion
+}
+
+func newCrossvalTracker() *crossvalTracker {
+	return &crossvalTracker{regions: make(map[crossvalKey]*crossvalRegion)}
+}
+
+// add folds one batch of comparison points into the per-region aggregates.
+// The tracked error is the signed colocated-C2M-bandwidth error, the
+// quantity the paper's envelope is stated over.
+func (t *crossvalTracker) add(experiment string, pts []exp.CrossvalPoint) {
+	if len(pts) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, p := range pts {
+		k := crossvalKey{experiment: experiment, quadrant: int(p.Quadrant), cores: p.Cores}
+		r := t.regions[k]
+		if r == nil {
+			r = &crossvalRegion{}
+			t.regions[k] = r
+		}
+		abs := math.Abs(p.BWErrPct)
+		r.count++
+		r.sumAbs += abs
+		if abs > r.maxAbs {
+			r.maxAbs = abs
+		}
+		r.last = p.BWErrPct
+	}
+}
+
+// snapshot returns the aggregated regions sorted by (experiment, quadrant,
+// cores) for a stable report.
+func (t *crossvalTracker) snapshot() []CrossvalRegion {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]CrossvalRegion, 0, len(t.regions))
+	for k, r := range t.regions {
+		out = append(out, CrossvalRegion{
+			Experiment:     k.experiment,
+			Quadrant:       k.quadrant,
+			Cores:          k.cores,
+			Samples:        r.count,
+			MeanAbsErrPct:  r.sumAbs / float64(r.count),
+			MaxAbsErrPct:   r.maxAbs,
+			LastErrPct:     r.last,
+			WithinEnvelope: r.maxAbs <= exp.CrossvalEnvelopePct,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.Quadrant != b.Quadrant {
+			return a.Quadrant < b.Quadrant
+		}
+		return a.Cores < b.Cores
+	})
+	return out
+}
+
+// samples reports the total number of comparison points folded in, for the
+// /metrics counter.
+func (t *crossvalTracker) samples() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for _, r := range t.regions {
+		n += r.count
+	}
+	return n
+}

@@ -78,6 +78,10 @@ const (
 	// was found in the persistent store (this daemon's earlier life, or a
 	// fleet peer sharing the directory); served without running anything.
 	OutcomeStoreHit
+	// OutcomeAnalytic: an analytic-fidelity spec was answered inline by the
+	// predictive model — no queue, no worker, the result is available in
+	// the submit response (and cached/stored like any computed result).
+	OutcomeAnalytic
 )
 
 // String names the outcome as the API reports it.
@@ -89,6 +93,8 @@ func (o Outcome) String() string {
 		return "deduplicated"
 	case OutcomeStoreHit:
 		return "store_hit"
+	case OutcomeAnalytic:
+		return "analytic"
 	}
 	return "accepted"
 }
@@ -120,6 +126,13 @@ type Job struct {
 	// Cache bookkeeping, guarded by the manager's mutex.
 	lruElem *list.Element
 	cost    int64
+
+	// Tenant-quota bookkeeping, guarded by the manager's mutex: charged on
+	// enqueue, released exactly once on the first terminal transition that
+	// reaches releaseTenant (cancel-while-queued releases immediately; the
+	// worker's deferred release is then a no-op).
+	quotaCharged  bool
+	quotaReleased bool
 }
 
 func newJob(id string, spec exp.Spec, canonical []byte) *Job {
@@ -206,15 +219,16 @@ func (j *Job) markRunning(cancel context.CancelFunc) bool {
 // requestCancel cancels the job: queued jobs finish as Canceled on the
 // spot; running jobs get their context canceled (the sweep stops between
 // points and the worker records the terminal state). Terminal jobs are
-// untouched. Reports whether the request had any effect.
-func (j *Job) requestCancel(reason string) bool {
+// untouched. Reports whether the request had any effect and whether the
+// job was still queued (it turned terminal right here, without a worker).
+func (j *Job) requestCancel(reason string) (acted, wasQueued bool) {
 	j.mu.Lock()
 	switch j.state {
 	case StateQueued:
 		j.cancelCause = reason
 		j.finishLocked(StateCanceled, nil, "canceled while queued: "+reason)
 		j.mu.Unlock()
-		return true
+		return true, true
 	case StateRunning:
 		j.cancelCause = reason
 		cancel := j.cancel
@@ -222,10 +236,10 @@ func (j *Job) requestCancel(reason string) bool {
 		if cancel != nil {
 			cancel()
 		}
-		return true
+		return true, false
 	}
 	j.mu.Unlock()
-	return false
+	return false, false
 }
 
 // finish moves the job to a terminal state exactly once.
@@ -271,6 +285,13 @@ type manager struct {
 	lru      *list.List      // terminal jobs, most recently used at front
 	lruBytes int64
 	tenants  map[string]int // tenant -> admitted jobs in flight (queued+running)
+	// refine maps a sim twin's job ID to the analytic envelope awaiting
+	// comparison when the twin completes (Config.Refine).
+	refine map[string][]byte
+
+	// cv accumulates analytic-vs-sim error per config-space region, fed by
+	// completed crossval jobs and by background refinement comparisons.
+	cv *crossvalTracker
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -290,6 +311,8 @@ func newManager(cfg Config, met *metrics) *manager {
 		jobs:       make(map[string]*Job),
 		lru:        list.New(),
 		tenants:    make(map[string]int),
+		refine:     make(map[string][]byte),
+		cv:         newCrossvalTracker(),
 		queue:      make(chan *Job, cfg.QueueDepth),
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -354,6 +377,7 @@ func (m *manager) Submit(spec exp.Spec, canonical []byte, tenant string) (*Job, 
 	case m.queue <- j:
 		m.jobs[id] = j
 		m.tenants[tenant]++
+		j.quotaCharged = true
 		m.met.cacheMisses.Add(1)
 		return j, OutcomeAccepted, nil
 	default:
@@ -364,16 +388,43 @@ func (m *manager) Submit(spec exp.Spec, canonical []byte, tenant string) (*Job, 
 	}
 }
 
-// releaseTenant returns a job's admission-quota slot; every admitted job
-// passes through run() exactly once, which is where this is called.
+// releaseTenant returns a job's admission-quota slot, exactly once per
+// charge: only jobs that actually enqueued were charged (cache, store,
+// dedup, and analytic answers never were), and a slot released early by
+// Cancel is not released again by the worker's deferred call. Idempotence
+// is what makes auditing terminal paths tractable — every path may call
+// this safely.
 func (m *manager) releaseTenant(j *Job) {
 	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !j.quotaCharged || j.quotaReleased {
+		return
+	}
+	j.quotaReleased = true
 	if n := m.tenants[j.Tenant]; n <= 1 {
 		delete(m.tenants, j.Tenant)
 	} else {
 		m.tenants[j.Tenant] = n - 1
 	}
-	m.mu.Unlock()
+}
+
+// Cancel forwards a cancellation request and, when the job was canceled
+// while still queued, releases its tenant-quota slot immediately: the
+// tombstone sitting in the queue must not hold the tenant's admission
+// budget until a worker happens to drain it.
+func (m *manager) Cancel(j *Job, reason string) bool {
+	acted, wasQueued := j.requestCancel(reason)
+	if acted && wasQueued {
+		m.releaseTenant(j)
+	}
+	return acted
+}
+
+// tenantInFlight reports a tenant's charged admission slots (tests).
+func (m *manager) tenantInFlight(tenant string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tenants[tenant]
 }
 
 // Get returns the job at a content address or job ID.
@@ -477,6 +528,118 @@ func (m *manager) run(j *Job) {
 	m.mu.Unlock()
 	j.finish(st, out, msg)
 	m.met.observe(st, wall)
+	if st == StateDone {
+		// Feed the Retry-After estimate (completed sim jobs only; analytic
+		// answers never occupy a queue slot so they must not dilute it) and
+		// the crossval tracker.
+		m.met.noteJobDuration(wall)
+		m.noteCrossvalJob(j.Spec, out)
+	}
+	// A refinement watch is consumed no matter how the twin ended; only a
+	// completed twin yields a comparison.
+	if env := m.takeRefine(j.ID); env != nil && st == StateDone {
+		m.noteCrossval(env, out)
+	}
+}
+
+// noteCrossvalJob records a completed crossval experiment's points.
+func (m *manager) noteCrossvalJob(spec exp.Spec, env []byte) {
+	if spec.Experiment != "crossval" {
+		return
+	}
+	cv, err := exp.DecodeCrossval(env)
+	if err != nil {
+		return
+	}
+	m.cv.add("crossval", cv.Points)
+}
+
+// noteCrossval compares an analytic envelope with its completed sim twin
+// and records the per-point errors. Best-effort observability: structural
+// mismatches are dropped, never surfaced to either job.
+func (m *manager) noteCrossval(analyticEnv, simEnv []byte) {
+	experiment, pts, err := exp.CrossvalFromEnvelopes(analyticEnv, simEnv)
+	if err != nil || len(pts) == 0 {
+		return
+	}
+	m.cv.add(experiment, pts)
+}
+
+// watchRefine registers an analytic envelope for comparison when the sim
+// twin completes. If the twin is already terminal (a dedup race, or a twin
+// canceled before the watch landed), the registration is consumed inline.
+func (m *manager) watchRefine(twin *Job, analyticEnv []byte) {
+	m.mu.Lock()
+	m.refine[twin.ID] = analyticEnv
+	m.mu.Unlock()
+	if st := twin.State(); st == StateQueued || st == StateRunning {
+		return // run() consumes the watch at the terminal transition
+	}
+	if env := m.takeRefine(twin.ID); env != nil {
+		if result, _, st := twin.Result(); st == StateDone {
+			m.noteCrossval(env, result)
+		}
+	}
+}
+
+// takeRefine consumes a refinement watch; nil if none (or already taken).
+func (m *manager) takeRefine(id string) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	env := m.refine[id]
+	delete(m.refine, id)
+	return env
+}
+
+// RunAnalytic is the analytic fast path: answer the spec inline — cache,
+// then store, then the predictive model — without touching the queue, the
+// worker pool, or the tenant quota (like cache hits, analytic answers cost
+// the daemon microseconds, so they are never charged against admission).
+// The manager lock is held across the computation: at microseconds per
+// answer that is cheaper than handling the insert race between concurrent
+// identical submissions.
+func (m *manager) RunAnalytic(spec exp.Spec, canonical []byte) (*Job, Outcome, error) {
+	id, storeKey := jobKeys(canonical)
+	start := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, OutcomeAccepted, ErrClosed
+	}
+	if j, ok := m.jobs[id]; ok {
+		if j.State() == StateDone {
+			m.touchLocked(j)
+			m.met.cacheHits.Add(1)
+			return j, OutcomeCacheHit, nil
+		}
+		// Analytic addresses never enqueue, so a non-Done record can only
+		// be a stale failure; drop it and recompute.
+		m.removeLocked(j)
+	}
+	if st := m.cfg.Store; st != nil {
+		if result, ok := st.Get(storeKey); ok {
+			j := newJob(id, spec, canonical)
+			j.StoreKey = storeKey
+			j.finish(StateDone, result, "")
+			m.jobs[id] = j
+			m.insertLocked(j, StateDone, result)
+			m.met.storeHits.Add(1)
+			return j, OutcomeStoreHit, nil
+		}
+	}
+	out, err := exp.RunSpecJSON(spec, exp.Defaults())
+	if err != nil {
+		return nil, OutcomeAccepted, err
+	}
+	j := newJob(id, spec, canonical)
+	j.StoreKey = storeKey
+	j.finish(StateDone, out, "")
+	m.jobs[id] = j
+	m.insertLocked(j, StateDone, out)
+	m.writeThrough(j, out)
+	m.met.analyticServed.Add(1)
+	m.met.analyticNanos.Add(time.Since(start).Nanoseconds())
+	return j, OutcomeAnalytic, nil
 }
 
 // writeThrough files a completed result in the persistent store (best

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -20,15 +21,56 @@ type metrics struct {
 	storeHits      atomic.Int64 // submissions served from the persistent store
 	storeWriteErrs atomic.Int64 // write-through Puts that failed (best effort)
 	tenantRejected atomic.Int64 // submissions shed with 429 (tenant over quota)
+	analyticServed atomic.Int64 // submissions answered inline by the analytic tier
+	analyticNanos  atomic.Int64 // total wall-clock spent in analytic answers
+	refineEnqueued atomic.Int64 // sim twins enqueued behind analytic answers
+	refineSkipped  atomic.Int64 // refinements skipped (queue pressure or window cost)
 
 	finished      [numStates]atomic.Int64 // terminal jobs by final state
 	finishedNanos [numStates]atomic.Int64 // total wall-clock by final state
+
+	// Recent sim-job wall-clock durations, for the Retry-After estimate.
+	// Analytic answers never pass through here: they are answered inline in
+	// microseconds and would drag the mean toward zero.
+	durMu   sync.Mutex
+	durRing [durRingSize]time.Duration
+	durN    int64
 }
+
+const durRingSize = 32
 
 // observe records one terminal job.
 func (m *metrics) observe(st State, wall time.Duration) {
 	m.finished[st].Add(1)
 	m.finishedNanos[st].Add(wall.Nanoseconds())
+}
+
+// noteJobDuration folds one completed sim job's wall-clock time into the
+// recent-duration ring that backs the Retry-After estimate.
+func (m *metrics) noteJobDuration(wall time.Duration) {
+	m.durMu.Lock()
+	m.durRing[m.durN%durRingSize] = wall
+	m.durN++
+	m.durMu.Unlock()
+}
+
+// recentMeanJobDur returns the mean of the last recorded sim-job durations,
+// or 0 when no job has completed yet.
+func (m *metrics) recentMeanJobDur() time.Duration {
+	m.durMu.Lock()
+	defer m.durMu.Unlock()
+	n := m.durN
+	if n == 0 {
+		return 0
+	}
+	if n > durRingSize {
+		n = durRingSize
+	}
+	var sum time.Duration
+	for i := int64(0); i < n; i++ {
+		sum += m.durRing[i]
+	}
+	return sum / time.Duration(n)
 }
 
 // writeProm emits the Prometheus text exposition format (0.0.4). Hand
@@ -62,6 +104,22 @@ func (m *metrics) writeProm(w io.Writer, mgr *manager) {
 	gauge("hostnetd_cache_entries", "Terminal jobs held in the result cache.", entries)
 	gauge("hostnetd_cache_bytes", "Approximate bytes held by the result cache.", bytes)
 	counter("hostnetd_tenants_rejected_total", "Submissions shed with 429 because the tenant was over quota.", m.tenantRejected.Load())
+	counter("hostnetd_analytic_served_total", "Submissions answered inline by the analytic fidelity tier.", m.analyticServed.Load())
+	fmt.Fprintf(w, "# HELP hostnetd_analytic_seconds_total Wall-clock seconds spent computing analytic answers.\n# TYPE hostnetd_analytic_seconds_total counter\nhostnetd_analytic_seconds_total %g\n",
+		float64(m.analyticNanos.Load())/1e9)
+	counter("hostnetd_refine_enqueued_total", "Sim twins enqueued behind analytic answers for cross-validation.", m.refineEnqueued.Load())
+	counter("hostnetd_refine_skipped_total", "Refinements skipped under queue pressure or window cost.", m.refineSkipped.Load())
+
+	if cv := mgr.cv; cv != nil {
+		regions := cv.snapshot()
+		gauge("hostnetd_crossval_regions", "Config-space regions with analytic-vs-sim error observations.", len(regions))
+		counter("hostnetd_crossval_samples_total", "Analytic-vs-sim comparison points folded into the crossval report.", cv.samples())
+		fmt.Fprintf(w, "# HELP hostnetd_crossval_max_abs_err_pct Largest absolute colocated-C2M bandwidth error observed, per region.\n# TYPE hostnetd_crossval_max_abs_err_pct gauge\n")
+		for _, r := range regions {
+			fmt.Fprintf(w, "hostnetd_crossval_max_abs_err_pct{experiment=%q,quadrant=\"%d\",cores=\"%d\"} %g\n",
+				r.Experiment, r.Quadrant, r.Cores, r.MaxAbsErrPct)
+		}
+	}
 
 	if st := mgr.cfg.Store; st != nil {
 		ss := st.Stats()
@@ -73,6 +131,7 @@ func (m *metrics) writeProm(w io.Writer, mgr *manager) {
 		counter("hostnetd_store_gc_bytes_total", "Payload bytes reclaimed by store GC.", ss.GCBytes)
 		counter("hostnetd_store_quarantined_total", "Damaged store entries moved aside.", ss.Quarantined)
 		counter("hostnetd_store_write_errors_total", "Write-through failures (result kept in memory only).", m.storeWriteErrs.Load())
+		counter("hostnetd_store_atime_errors_total", "Access-time bumps that failed; GC recency order may be stale.", ss.AtimeErrors)
 		gauge("hostnetd_store_entries", "Entries held by the persistent store.", ss.Entries)
 		gauge("hostnetd_store_bytes", "Payload bytes held by the persistent store.", ss.Bytes)
 	}

@@ -226,8 +226,8 @@ func TestRetryAfterHeaderUnderChurn(t *testing.T) {
 			}
 		case http.StatusTooManyRequests:
 			sec, err := strconv.Atoi(retryAfter[i])
-			if err != nil || sec <= 0 {
-				t.Errorf("429 %d: Retry-After %q not a positive integer", i, retryAfter[i])
+			if err != nil || sec < 1 || sec > 60 {
+				t.Errorf("429 %d: Retry-After %q outside the pinned [1, 60]s clamp", i, retryAfter[i])
 			}
 		default:
 			t.Errorf("submit %d: unexpected code %d", i, codes[i])

@@ -25,9 +25,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/analytic"
 	"repro/internal/exp"
 	"repro/internal/fleet"
 	"repro/internal/store"
@@ -74,6 +76,19 @@ type Config struct {
 	// touching the shared queue, so one tenant cannot monopolize admission.
 	// 0 disables per-tenant quotas.
 	TenantQuota int
+	// Fidelity restricts which fidelity tiers this server answers: "" or
+	// "both" (default) serves sim and analytic, "sim" rejects analytic
+	// specs with 400, "analytic" rejects sim specs with 400 (a pure
+	// model-evaluation server needs no worker pool to speak of).
+	Fidelity string
+	// Refine, when true, follows every fresh analytic answer with its sim
+	// twin (fidelity cleared, same spec otherwise) enqueued at background
+	// priority. When the twin completes, the pair's analytic-vs-sim error
+	// is folded into the GET /crossval report, so operating the fast tier
+	// continuously re-validates it against the slow one. Refinements are
+	// skipped (never shed as errors) when the queue is half full or the
+	// twin's default windows exceed MaxWindowNs.
+	Refine bool
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +106,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxWindowNs == 0 {
 		c.MaxWindowNs = 10_000_000 // 10ms simulated
+	}
+	if c.Fidelity == "both" {
+		c.Fidelity = ""
 	}
 	return c
 }
@@ -127,6 +145,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /crossval", s.handleCrossval)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /version", s.handleVersion)
@@ -218,6 +237,13 @@ func (s *Server) admit(spec exp.Spec, tenant string) (j *Job, outcome Outcome, c
 	if err := spec.Validate(); err != nil {
 		return nil, 0, http.StatusBadRequest, fmt.Errorf("invalid job spec: %w", err)
 	}
+	if spec.Fidelity == exp.FidelityAnalytic {
+		return s.admitAnalytic(spec)
+	}
+	if s.cfg.Fidelity == exp.FidelityAnalytic {
+		return nil, 0, http.StatusBadRequest, fmt.Errorf(
+			"this server answers only analytic-fidelity specs (-fidelity analytic); set \"fidelity\": \"analytic\" or submit to a sim-capable server")
+	}
 	if s.cfg.MaxWindowNs > 0 {
 		if spec.WindowNs > s.cfg.MaxWindowNs || spec.WarmupNs > s.cfg.MaxWindowNs {
 			return nil, 0, http.StatusBadRequest, fmt.Errorf(
@@ -255,6 +281,74 @@ func (s *Server) admit(spec exp.Spec, tenant string) (j *Job, outcome Outcome, c
 	return j, outcome, 0, nil
 }
 
+// admitAnalytic answers an analytic-fidelity spec synchronously: the
+// predictive model runs in microseconds, so the answer is computed inline
+// (never queued), cached, and written through to the store like any other
+// result. Specs outside the model's domain get a typed 422 telling the
+// client to fall back to the sim tier.
+func (s *Server) admitAnalytic(spec exp.Spec) (j *Job, outcome Outcome, code int, err error) {
+	if s.cfg.Fidelity == exp.FidelitySim {
+		return nil, 0, http.StatusBadRequest, fmt.Errorf(
+			"this server answers only sim-fidelity specs (-fidelity sim); drop \"fidelity\": \"analytic\" or submit to an analytic-capable server")
+	}
+	canonical, err := spec.Canonical()
+	if err != nil {
+		return nil, 0, http.StatusBadRequest, fmt.Errorf("cannot canonicalize spec: %w", err)
+	}
+	j, outcome, err = s.mgr.RunAnalytic(spec, canonical)
+	var unsup *analytic.UnsupportedError
+	switch {
+	case errors.As(err, &unsup):
+		return nil, 0, http.StatusUnprocessableEntity, fmt.Errorf("%v; resubmit without \"fidelity\": \"analytic\" for the sim tier", err)
+	case errors.Is(err, ErrClosed):
+		return nil, 0, http.StatusServiceUnavailable, err
+	case err != nil:
+		return nil, 0, http.StatusInternalServerError, err
+	}
+	if s.cfg.Refine && outcome == OutcomeAnalytic {
+		s.enqueueRefinement(j)
+	}
+	return j, outcome, 0, nil
+}
+
+// refineTenant is the reserved tenant refinement twins are admitted under;
+// it cannot collide with an X-Tenant header tenant because handleSubmit
+// never forwards it (and real tenants with quotas shouldn't pay for
+// background validation anyway — the twin competes only with other twins).
+const refineTenant = "~refine"
+
+// enqueueRefinement submits the sim twin of a freshly computed analytic
+// answer at background priority. Skips (counted, never surfaced as errors)
+// keep refinement from competing with real load: no twin is enqueued when
+// the queue is already half full, when the twin's windows exceed the
+// server's cap, or when admission fails for any reason.
+func (s *Server) enqueueRefinement(aj *Job) {
+	twin := aj.Spec
+	twin.Fidelity = "" // sim tier; Normalized restores the default windows
+	twin = twin.Normalized()
+	if s.cfg.MaxWindowNs > 0 && (twin.WindowNs > s.cfg.MaxWindowNs || twin.WarmupNs > s.cfg.MaxWindowNs) {
+		s.met.refineSkipped.Add(1)
+		return
+	}
+	if s.mgr.QueueDepth() >= s.cfg.QueueDepth/2 {
+		s.met.refineSkipped.Add(1)
+		return
+	}
+	canonical, err := twin.Canonical()
+	if err != nil {
+		s.met.refineSkipped.Add(1)
+		return
+	}
+	analyticEnv, _, _ := aj.Result()
+	tj, _, err := s.mgr.Submit(twin, canonical, refineTenant)
+	if err != nil {
+		s.met.refineSkipped.Add(1)
+		return
+	}
+	s.met.refineEnqueued.Add(1)
+	s.mgr.watchRefine(tj, analyticEnv)
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec exp.Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBody))
@@ -266,7 +360,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, outcome, code, err := s.admit(spec, r.Header.Get("X-Tenant"))
 	if err != nil {
 		if code == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
+			secs := retryAfterSecs(s.mgr.QueueDepth(), s.cfg.Workers, s.met.recentMeanJobDur())
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
 		}
 		writeError(w, code, "%v", err)
 		return
@@ -274,10 +369,31 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	st := statusOf(j)
 	st.Outcome = outcome.String()
 	code = http.StatusAccepted
-	if outcome == OutcomeCacheHit || outcome == OutcomeStoreHit {
+	if outcome == OutcomeCacheHit || outcome == OutcomeStoreHit || outcome == OutcomeAnalytic {
 		code = http.StatusOK // the result is already available
 	}
 	writeJSON(w, code, st)
+}
+
+// retryAfterSecs estimates how long a shed client should wait before
+// retrying: the current backlog spread across the worker pool at the
+// recent mean sim-job duration (analytic answers never enter the ring —
+// they are inline and would drag the mean to zero), rounded up and clamped
+// to [1, 60] seconds. Before any job has completed there is no estimate,
+// so the old fixed 1s survives as the floor.
+func retryAfterSecs(depth, workers int, mean time.Duration) int {
+	if depth <= 0 || workers <= 0 || mean <= 0 {
+		return 1
+	}
+	wait := time.Duration(depth) * mean / time.Duration(workers)
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
 }
 
 // batchItem is one entry in a batch-submit response: the admitted job's
@@ -377,7 +493,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if j == nil {
 		return
 	}
-	j.requestCancel("client request")
+	s.mgr.Cancel(j, "client request")
 	writeJSON(w, http.StatusOK, statusOf(j))
 }
 
@@ -483,6 +599,18 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Experiments []string `json:"experiments"`
 	}{exp.Experiments()})
+}
+
+// handleCrossval reports the accumulated analytic-vs-sim error per
+// config-space region, fed by completed crossval jobs and by background
+// refinement pairs. A region outside the pinned envelope is where the
+// analytic tier should not be trusted unrefined.
+func (s *Server) handleCrossval(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		EnvelopePct float64          `json:"envelope_pct"`
+		Samples     int64            `json:"samples"`
+		Regions     []CrossvalRegion `json:"regions"`
+	}{exp.CrossvalEnvelopePct, s.mgr.cv.samples(), s.mgr.cv.snapshot()})
 }
 
 // storeHealth is /healthz's view of the persistent store.

@@ -31,6 +31,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -79,6 +80,7 @@ type Stats struct {
 	Evictions   int64 // entries removed by GC
 	GCBytes     int64 // payload bytes reclaimed by GC
 	Quarantined int64 // damaged entries moved aside
+	AtimeErrors int64 // access-time bumps that failed (GC order may go stale)
 }
 
 // entry is the in-memory index record for one stored result.
@@ -105,6 +107,14 @@ type Store struct {
 	evictions   atomic.Int64
 	gcBytes     atomic.Int64
 	quarantined atomic.Int64
+	atimeErrs   atomic.Int64
+
+	atimeLogOnce sync.Once
+
+	// chtimes bumps an entry's access time on Get; a func field so tests can
+	// inject failures (the suite runs as root, where permission-based
+	// injection does not bite).
+	chtimes func(path string, atime, mtime time.Time) error
 
 	// crashBeforeRename (tests only) makes Put stop after the temp file is
 	// written and synced, simulating a kill before the rename commits.
@@ -123,7 +133,7 @@ func Open(dir string, cfg Config) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, cfg: cfg.withDefaults(), idx: make(map[string]entry)}
+	s := &Store{dir: dir, cfg: cfg.withDefaults(), idx: make(map[string]entry), chtimes: os.Chtimes}
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -208,7 +218,16 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	now := time.Now()
-	os.Chtimes(path, now, now) // best effort; GC order only
+	if err := s.chtimes(path, now, now); err != nil {
+		// Serving the payload is still correct — only the persisted GC
+		// recency order degrades toward scan-time mtimes. Count every
+		// failure (hostnetd_store_atime_errors_total) but log just once:
+		// a read-only or misbehaving filesystem would fail on every Get.
+		s.atimeErrs.Add(1)
+		s.atimeLogOnce.Do(func() {
+			log.Printf("store: bumping access time of %s: %v (GC recency order may go stale; counting further failures silently)", key, err)
+		})
+	}
 	e := s.idx[key]
 	e.atime = now
 	s.idx[key] = e
@@ -375,6 +394,7 @@ func (s *Store) Stats() Stats {
 		Evictions:   s.evictions.Load(),
 		GCBytes:     s.gcBytes.Load(),
 		Quarantined: s.quarantined.Load(),
+		AtimeErrors: s.atimeErrs.Load(),
 	}
 }
 

@@ -359,3 +359,117 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("verifyAll quarantined %d entries after concurrent churn", bad)
 	}
 }
+
+// A failing access-time bump must not fail the Get — the payload is fine,
+// only the persisted GC recency order degrades — but it must be counted
+// (hostnetd_store_atime_errors_total), never swallowed. The chtimes hook
+// injects the failure because the suite runs as root, where permission
+// tricks do not bite.
+func TestAtimeBumpFailureCountedNotFatal(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Config{})
+	payload := []byte(strings.Repeat("a", 512))
+	key := keyOf(payload)
+	if err := s.Put(key, payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	s.chtimes = func(string, time.Time, time.Time) error {
+		return fmt.Errorf("injected: read-only filesystem")
+	}
+	for i := 0; i < 3; i++ {
+		got, ok := s.Get(key)
+		if !ok || !bytes.Equal(got, payload) {
+			t.Fatalf("Get %d under failing chtimes = %q, %v; the payload must still be served", i, got, ok)
+		}
+	}
+	st := s.Stats()
+	if st.AtimeErrors != 3 {
+		t.Fatalf("AtimeErrors = %d after 3 failing bumps, want 3", st.AtimeErrors)
+	}
+	if st.Hits != 3 {
+		t.Fatalf("Hits = %d, want 3 (bump failure must not demote the hit)", st.Hits)
+	}
+}
+
+// The reason the bump exists at all: access recency persists via file
+// mtimes, so after a restart GC must evict the key that was NOT read in
+// the previous life, even though it was written later. This pins the
+// restart GC order against the in-memory atime order.
+func TestGCOrderSurvivesRestartViaAtimeBump(t *testing.T) {
+	dir := t.TempDir()
+	cold := []byte(strings.Repeat("c", 600))
+	warm := []byte(strings.Repeat("w", 600))
+	coldKey, warmKey := keyOf(cold), keyOf(warm)
+
+	s1 := mustOpen(t, dir, Config{MaxBytes: 2000})
+	if err := s1.Put(warmKey, warm); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(coldKey, cold); err != nil {
+		t.Fatal(err)
+	}
+	// Push both mtimes into the past, cold newer than warm on disk: if the
+	// Get bump below were lost, a restarted GC would evict warm first.
+	past := time.Now().Add(-2 * time.Hour)
+	for key, mt := range map[string]time.Time{warmKey: past, coldKey: past.Add(time.Minute)} {
+		if err := os.Chtimes(filepath.Join(dir, key), mt, mt); err != nil {
+			t.Fatalf("arranging mtimes: %v", err)
+		}
+	}
+	if _, ok := s1.Get(warmKey); !ok { // bumps warm's mtime to now
+		t.Fatal("warm key vanished")
+	}
+
+	s2 := mustOpen(t, dir, Config{MaxBytes: 2000}) // restart: order rebuilt from mtimes
+	filler := []byte(strings.Repeat("f", 1200))
+	if err := s2.Put(keyOf(filler), filler); err != nil { // forces GC of one old entry
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(warmKey); !ok {
+		t.Fatal("recently accessed key evicted after restart: the atime bump did not persist")
+	}
+	if _, ok := s2.Get(coldKey); ok {
+		t.Fatal("cold key survived GC ahead of the accessed one: wrong eviction order")
+	}
+}
+
+// The degradation when bumps fail, pinned: recency falls back to write
+// order, so the previously read key is evicted like any other old entry.
+// This is what hostnetd_store_atime_errors_total warns about.
+func TestGCOrderDegradesWhenBumpFails(t *testing.T) {
+	dir := t.TempDir()
+	cold := []byte(strings.Repeat("c", 600))
+	warm := []byte(strings.Repeat("w", 600))
+	coldKey, warmKey := keyOf(cold), keyOf(warm)
+
+	s1 := mustOpen(t, dir, Config{MaxBytes: 2000})
+	s1.chtimes = func(string, time.Time, time.Time) error {
+		return fmt.Errorf("injected: bump lost")
+	}
+	if err := s1.Put(warmKey, warm); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(coldKey, cold); err != nil {
+		t.Fatal(err)
+	}
+	past := time.Now().Add(-2 * time.Hour)
+	for key, mt := range map[string]time.Time{warmKey: past, coldKey: past.Add(time.Minute)} {
+		if err := os.Chtimes(filepath.Join(dir, key), mt, mt); err != nil {
+			t.Fatalf("arranging mtimes: %v", err)
+		}
+	}
+	if _, ok := s1.Get(warmKey); !ok {
+		t.Fatal("warm key vanished")
+	}
+	if got := s1.Stats().AtimeErrors; got != 1 {
+		t.Fatalf("AtimeErrors = %d, want 1", got)
+	}
+
+	s2 := mustOpen(t, dir, Config{MaxBytes: 2000})
+	filler := []byte(strings.Repeat("f", 1200))
+	if err := s2.Put(keyOf(filler), filler); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(warmKey); ok {
+		t.Fatal("warm key survived: the failed bump unexpectedly persisted recency")
+	}
+}
